@@ -1,0 +1,76 @@
+// Shared plumbing of the paper-reproduction benches: the standard week
+// workload, a row formatter matching the paper's table columns, and the
+// "paper said / we measured" footers that EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "experiments/setup.hpp"
+#include "support/table.hpp"
+#include "workload/synthetic.hpp"
+
+namespace easched::bench {
+
+inline constexpr std::uint64_t kSeed = 20071001;
+
+/// The evaluation workload (synthetic stand-in for the Grid5000 week; see
+/// DESIGN.md substitutions).
+inline workload::Workload week_workload(std::uint64_t seed = kSeed) {
+  return workload::evaluation_workload(seed);
+}
+
+/// Runs one policy over the week on the 100-node evaluation datacenter.
+inline experiments::RunResult run_week(
+    const workload::Workload& jobs, const std::string& policy,
+    double lambda_min = 0.30, double lambda_max = 0.90,
+    std::unique_ptr<sched::Policy> instance = nullptr) {
+  experiments::RunConfig config;
+  config.datacenter = experiments::evaluation_datacenter(kSeed);
+  config.policy = policy;
+  config.policy_instance = std::move(instance);
+  config.driver.power.lambda_min = lambda_min;
+  config.driver.power.lambda_max = lambda_max;
+  return experiments::run_experiment(jobs, std::move(config));
+}
+
+/// Table row in the paper's column layout.
+inline std::vector<std::string> report_row(const std::string& label,
+                                           const metrics::RunReport& r,
+                                           bool with_lambda = false,
+                                           bool with_migrations = false) {
+  using support::TextTable;
+  std::vector<std::string> row{label};
+  if (with_lambda) {
+    row.push_back(TextTable::num(r.lambda_min * 100, 0) + "-" +
+                  TextTable::num(r.lambda_max * 100, 0));
+  }
+  row.push_back(TextTable::num(r.avg_working, 1) + " / " +
+                TextTable::num(r.avg_online, 1));
+  row.push_back(TextTable::num(r.cpu_hours, 1));
+  row.push_back(TextTable::num(r.energy_kwh, 1));
+  row.push_back(TextTable::num(r.satisfaction, 1));
+  row.push_back(TextTable::num(r.delay_pct, 1));
+  if (with_migrations) {
+    row.push_back(std::to_string(r.migrations));
+  }
+  return row;
+}
+
+inline std::vector<std::string> table_header(bool with_lambda,
+                                             bool with_migrations) {
+  std::vector<std::string> h{"policy"};
+  if (with_lambda) h.push_back("lambda");
+  h.insert(h.end(), {"Work/ON", "CPU (h)", "Pwr (kWh)", "S (%)", "delay (%)"});
+  if (with_migrations) h.push_back("Mig");
+  return h;
+}
+
+inline void print_banner(const char* experiment, const char* paper_claim) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace easched::bench

@@ -1,0 +1,78 @@
+// Extension A8: hybrid datacenter (section II cites Chun et al. [5], "An
+// Energy Case for Hybrid Datacenters": mix low-power and high-performance
+// nodes).
+//
+// Replace a slice of the evaluation fleet with wimpy low-power nodes
+// (2 cores, 38-64 W vs 230-304 W) and let the score-based scheduler place
+// freely — small VMs fit the wimpies, 4-core jobs still need big iron.
+// Compared fleets have equal aggregate core count.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace easched;
+
+metrics::RunReport run_fleet(const workload::Workload& jobs,
+                             std::vector<datacenter::HostSpec> hosts) {
+  experiments::RunConfig config;
+  config.datacenter.hosts = std::move(hosts);
+  config.datacenter.seed = bench::kSeed;
+  config.policy = "SB";
+  config.horizon_s = 60 * sim::kDay;
+  return experiments::run_experiment(jobs, std::move(config)).report;
+}
+
+}  // namespace
+
+int main() {
+  using namespace easched;
+  bench::print_banner(
+      "Extension - hybrid fleet with low-power nodes (ref [5] of the paper)",
+      "a hybrid fleet at equal core count cuts energy when the workload "
+      "has a small-VM tail the wimpy nodes can absorb");
+
+  const auto jobs = bench::week_workload();
+
+  // Homogeneous: the standard 100 nodes x 4 cores = 400 cores.
+  const auto homogeneous =
+      run_fleet(jobs, experiments::evaluation_hosts(15, 50, 35));
+
+  // Hybrid: 80 big nodes + 40 low-power (2-core) = 400 cores.
+  auto hybrid_hosts = experiments::evaluation_hosts(12, 40, 28);
+  for (int i = 0; i < 40; ++i) {
+    hybrid_hosts.push_back(datacenter::HostSpec::low_power());
+  }
+  const auto hybrid = run_fleet(jobs, hybrid_hosts);
+
+  support::TextTable table;
+  auto head = bench::table_header(false, true);
+  head[0] = "fleet";
+  table.header(head);
+  table.add_row(bench::report_row("homogeneous 100x4c", homogeneous, false,
+                                  true));
+  table.add_row(bench::report_row("hybrid 80x4c+40x2c", hybrid, false, true));
+  std::printf("%s\n", table.render().c_str());
+
+  struct Check {
+    const char* what;
+    bool ok;
+  } checks[] = {
+      {"hybrid fleet uses less energy at equal core count",
+       hybrid.energy_kwh < homogeneous.energy_kwh},
+      {"hybrid fleet keeps satisfaction within 1 pp",
+       hybrid.satisfaction >= homogeneous.satisfaction - 1.0},
+      {"both fleets finish everything",
+       hybrid.jobs_finished == jobs.size() &&
+           homogeneous.jobs_finished == jobs.size()},
+  };
+  bool all = true;
+  for (const auto& c : checks) {
+    std::printf("shape check: %s -> %s\n", c.what, c.ok ? "PASS" : "FAIL");
+    all = all && c.ok;
+  }
+  std::printf("hybrid saving: %.1f %%\n",
+              100.0 * (1.0 - hybrid.energy_kwh / homogeneous.energy_kwh));
+  return all ? 0 : 1;
+}

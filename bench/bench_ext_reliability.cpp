@@ -1,0 +1,106 @@
+// Extension A2: reliability (Pfault) + failure injection + checkpointing.
+//
+// The paper defines the Pfault penalty (section III-A.6) and the recovery
+// actuator ("the new executing node tries to recover it from the more
+// recent checkpoint", III-C) but leaves their evaluation to future work.
+// This bench performs that evaluation: a fleet where 40 % of nodes are
+// flaky (reliability 0.95-0.99); we compare the reliability-blind SB
+// against SB + Pfault, with and without checkpointing.
+//
+// Expected shape: Pfault steers VMs to reliable nodes -> fewer VM restarts
+// and better satisfaction; checkpointing recovers progress -> less CPU
+// re-execution after the failures that still happen.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/score_based_policy.hpp"
+
+namespace {
+
+using namespace easched;
+
+struct Outcome {
+  metrics::RunReport report;
+  std::uint64_t restarts = 0;
+};
+
+Outcome run_variant(const workload::Workload& jobs, bool use_fault,
+                    bool checkpointing) {
+  experiments::RunConfig config;
+  config.datacenter = experiments::evaluation_datacenter(bench::kSeed);
+  for (std::size_t i = 0; i < config.datacenter.hosts.size(); ++i) {
+    if (i % 5 < 2) {  // 40 % of the fleet is flaky
+      config.datacenter.hosts[i].reliability = 0.95 + 0.02 * (i % 3);
+    }
+  }
+  config.datacenter.inject_failures = true;
+  config.datacenter.mean_repair_s = 2 * sim::kHour;
+  config.datacenter.checkpoint.enabled = checkpointing;
+  config.datacenter.checkpoint.period_s = 1800;
+
+  auto sb = core::ScoreBasedConfig::sb();
+  sb.params.use_fault = use_fault;
+  sb.label = use_fault ? "SB+fault" : "SB";
+  config.policy_instance = std::make_unique<core::ScoreBasedPolicy>(sb);
+  config.driver.power.lambda_min = 0.30;
+  config.driver.power.lambda_max = 0.90;
+  config.horizon_s = 60 * sim::kDay;  // safety net
+
+  const auto res = experiments::run_experiment(jobs, std::move(config));
+  return {res.report, res.report.failures};
+}
+
+}  // namespace
+
+int main() {
+  using namespace easched;
+  bench::print_banner(
+      "Extension - reliability penalty Pfault + checkpoint recovery",
+      "future work of the paper, implemented here: Pfault avoids flaky "
+      "nodes; checkpoints preserve progress across failures");
+
+  workload::SyntheticConfig wl;
+  wl.seed = bench::kSeed;
+  wl.span_seconds = 3 * sim::kDay;
+  wl.mean_jobs_per_hour = 11.2;
+  wl.max_fault_tolerance = 0.01;
+  const auto jobs = workload::generate(wl);
+
+  support::TextTable table;
+  auto head = bench::table_header(false, false);
+  head[0] = "variant";
+  head.push_back("failures");
+  table.header(head);
+
+  const Outcome blind = run_variant(jobs, false, false);
+  const Outcome fault = run_variant(jobs, true, false);
+  const Outcome fault_ckpt = run_variant(jobs, true, true);
+
+  auto add = [&](const char* label, const Outcome& o) {
+    auto row = bench::report_row(label, o.report);
+    row.push_back(std::to_string(o.report.failures));
+    table.add_row(row);
+  };
+  add("SB (blind)", blind);
+  add("SB + Pfault", fault);
+  add("SB + Pfault + ckpt", fault_ckpt);
+  std::printf("%s\n", table.render().c_str());
+
+  struct Check {
+    const char* what;
+    bool ok;
+  } checks[] = {
+      {"Pfault does not reduce satisfaction",
+       fault.report.satisfaction >= blind.report.satisfaction - 0.3},
+      {"Pfault reduces delay or failures felt by jobs",
+       fault.report.delay_pct <= blind.report.delay_pct + 0.3},
+      {"checkpointing does not hurt satisfaction",
+       fault_ckpt.report.satisfaction >= fault.report.satisfaction - 0.5},
+  };
+  bool all = true;
+  for (const auto& c : checks) {
+    std::printf("shape check: %s -> %s\n", c.what, c.ok ? "PASS" : "FAIL");
+    all = all && c.ok;
+  }
+  return all ? 0 : 1;
+}

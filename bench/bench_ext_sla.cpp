@@ -1,0 +1,107 @@
+// Extension A3: dynamic SLA enforcement (section III-A.5).
+//
+// The paper describes two mechanisms it defers to future work: raising the
+// resources of a VM whose SLA is being violated during execution, and the
+// PSLA matrix term that makes violating placements unattractive. This bench
+// evaluates both.
+//
+// Part 1 — in-execution recovery. The mechanism can only pay off where VMs
+// are actually slowed down in-flight, i.e. on CPU-oversubscribed hosts; we
+// therefore run the contention-prone Random policy on a 30-node fleet near
+// saturation and toggle the SLA monitor + credit-weight boost. Expected:
+// boosted at-risk VMs reclaim share from co-residents with slack, raising
+// overall satisfaction.
+//
+// Part 2 — placement-time steering (PSLA in the score matrix) under the
+// full score-based policy. SB never oversubscribes, so there is little for
+// enforcement to recover; the check is that PSLA steering keeps
+// satisfaction in the same band and every job still completes (the
+// hopeless-VM starvation case is what the soft-infinity in PSLA guards).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/score_based_policy.hpp"
+
+namespace {
+
+using namespace easched;
+
+experiments::RunResult run_variant(const workload::Workload& jobs,
+                                   const std::string& policy, bool psla,
+                                   bool boost) {
+  experiments::RunConfig config;
+  config.datacenter.hosts = experiments::evaluation_hosts(5, 15, 10);
+  config.datacenter.seed = bench::kSeed;
+  if (policy == "SB") {
+    auto sb = core::ScoreBasedConfig::sb();
+    sb.params.use_sla = psla;
+    config.policy_instance = std::make_unique<core::ScoreBasedPolicy>(sb);
+  } else {
+    config.policy = policy;
+  }
+  config.driver.sla_alarms = psla;
+  config.driver.dynamic_sla_boost = boost;
+  config.horizon_s = 60 * sim::kDay;
+  return experiments::run_experiment(jobs, std::move(config));
+}
+
+}  // namespace
+
+int main() {
+  using namespace easched;
+  bench::print_banner(
+      "Extension - dynamic SLA enforcement (PSLA + credit-weight boost)",
+      "future work of the paper, implemented here: violation alarms boost "
+      "at-risk VMs' shares; PSLA steers placements away from violating "
+      "hosts");
+
+  workload::SyntheticConfig wl;
+  wl.seed = bench::kSeed;
+  wl.span_seconds = 2 * sim::kDay;
+  wl.mean_jobs_per_hour = 9;   // near saturation for the 30-node fleet
+  wl.batch_mean = 5;
+  wl.deadline_factor_lo = 1.2;
+  wl.deadline_factor_hi = 1.8;
+  const auto jobs = workload::generate(wl);
+
+  support::TextTable table;
+  auto head = bench::table_header(false, false);
+  head[0] = "variant";
+  table.header(head);
+
+  const auto rd_off = run_variant(jobs, "RD", false, false);
+  const auto rd_boost = run_variant(jobs, "RD", false, true);
+  const auto sb_off = run_variant(jobs, "SB", false, false);
+  const auto sb_full = run_variant(jobs, "SB", true, true);
+
+  table.add_row(bench::report_row("RD, monitor off", rd_off.report));
+  table.add_row(bench::report_row("RD + weight boost", rd_boost.report));
+  table.add_row(bench::report_row("SB, monitor off", sb_off.report));
+  table.add_row(bench::report_row("SB + PSLA + boost", sb_full.report));
+  std::printf("%s\n", table.render().c_str());
+
+  struct Check {
+    const char* what;
+    bool ok;
+  } checks[] = {
+      {"weight boost raises satisfaction on the contended fleet (>= 1 pp)",
+       rd_boost.report.satisfaction >= rd_off.report.satisfaction + 1.0},
+      {"PSLA steering keeps SB satisfaction in band (within 1.5 pp)",
+       sb_full.report.satisfaction >= sb_off.report.satisfaction - 1.5},
+      {"no starvation: every job finishes under full enforcement",
+       sb_full.jobs_finished == sb_full.jobs_submitted &&
+           !sb_full.hit_horizon},
+  };
+  bool all = true;
+  for (const auto& c : checks) {
+    std::printf("shape check: %s -> %s\n", c.what, c.ok ? "PASS" : "FAIL");
+    all = all && c.ok;
+  }
+  std::printf(
+      "finding: on the never-oversubscribed score-based fleet enforcement "
+      "has little to recover (S %.1f vs %.1f); its value concentrates where "
+      "contention slows VMs mid-flight (S %.1f vs %.1f under RD).\n",
+      sb_full.report.satisfaction, sb_off.report.satisfaction,
+      rd_boost.report.satisfaction, rd_off.report.satisfaction);
+  return all ? 0 : 1;
+}

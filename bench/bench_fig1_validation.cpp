@@ -1,0 +1,151 @@
+// Figure 1: simulator validation.
+//
+// The paper validates the simulator by running a 1300 s workload of seven
+// tasks ("the most typical situations ... in a real cloud execution") on a
+// real node and on the simulator, then comparing power: real total
+// 99.9 +/- 1.8 Wh vs simulated 97.5 Wh (-2.4 %), instantaneous error
+// 8.62 +/- 8.06 W.
+//
+// We do not have their physical testbed, so the "real" side is a
+// fine-grained reference model (see DESIGN.md substitutions): the same
+// seven tasks replayed with 1 Hz sampling, measurement noise (the paper's
+// meter resolution/latency), short power spikes at VM creation, and load
+// wobble around each task's nominal CPU — the phenomena the coarse
+// event-driven simulator deliberately ignores. The bench reproduces the
+// *methodology*: total-energy error within a few percent while the
+// instantaneous traces differ.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datacenter/datacenter.hpp"
+#include "sim/simulator.hpp"
+#include "support/csv.hpp"
+#include "support/distributions.hpp"
+
+namespace {
+
+using namespace easched;
+
+struct Task {
+  double start_s;
+  double duration_s;
+  double cpu_pct;
+};
+
+// Seven tasks covering the typical situations: a lone task, overlapping
+// pairs, a burst of small tasks, a heavy 4-core task, and a trailing one.
+const std::vector<Task> kTasks = {
+    {20, 260, 100},  {120, 300, 200}, {300, 180, 100}, {480, 220, 50},
+    {520, 380, 300}, {720, 150, 100}, {1000, 200, 200},
+};
+constexpr double kHorizon = 1300;
+
+/// Event-driven simulator run: one host, tasks become VMs.
+std::vector<double> simulated_trace(double* total_wh) {
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  datacenter::DatacenterConfig config;
+  config.hosts = {datacenter::HostSpec::medium()};
+  config.hosts[0].creation_cost_s = 5;  // the validation node is warm
+  config.seed = 3;
+  datacenter::Datacenter dc(simulator, config, recorder);
+
+  for (const auto& t : kTasks) {
+    workload::Job job;
+    job.submit = t.start_s;
+    job.dedicated_seconds = t.duration_s;
+    job.cpu_pct = t.cpu_pct;
+    job.mem_mb = 128;
+    simulator.at(t.start_s, [&dc, job] {
+      datacenter::Datacenter& d = dc;
+      const auto v = d.admit_job(job);
+      d.place(v, 0);
+    });
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(kHorizon));
+  for (double t = 0; t < kHorizon; t += 1.0) {
+    simulator.run_until(t);
+    samples.push_back(recorder.watts.host_current(0));
+  }
+  simulator.run_until(kHorizon);
+  *total_wh = recorder.watts.total_integral(kHorizon) / 3600.0;
+  return samples;
+}
+
+/// Fine-grained reference ("real testbed") trace at 1 Hz.
+std::vector<double> reference_trace(double* total_wh) {
+  support::Rng rng{4242};
+  const datacenter::PowerModel power = datacenter::PowerModel::table1();
+  std::vector<double> samples;
+  double sum_w = 0;
+  for (double t = 0; t < kHorizon; t += 1.0) {
+    double cpu = 0;
+    double spike = 0;
+    for (const auto& task : kTasks) {
+      if (t >= task.start_s && t < task.start_s + task.duration_s) {
+        // Real tasks wobble around their nominal CPU consumption.
+        cpu += task.cpu_pct * (1.0 + 0.08 * support::normal01(rng));
+      }
+      // VM creation causes a short dom0 spike before the task starts.
+      if (t >= task.start_s - 5 && t < task.start_s) spike = 60;
+    }
+    cpu = std::min(std::max(cpu + spike, 0.0), 400.0);
+    const double noise = 1.5 * support::normal01(rng);  // meter noise
+    samples.push_back(power.watts_on(cpu, 400.0) + noise);
+    sum_w += samples.back();
+  }
+  *total_wh = sum_w / 3600.0;
+  return samples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Figure 1 - simulator validation (1300 s, 7 tasks)",
+      "real 99.9 +/- 1.8 Wh vs simulated 97.5 Wh (-2.4 %); instantaneous "
+      "error 8.62 W (sigma 8.06); totals match, instants differ");
+
+  double sim_wh = 0, ref_wh = 0;
+  const auto sim_trace = simulated_trace(&sim_wh);
+  const auto ref_trace = reference_trace(&ref_wh);
+
+  double err_sum = 0, err_sq = 0;
+  for (std::size_t i = 0; i < sim_trace.size(); ++i) {
+    const double e = std::abs(sim_trace[i] - ref_trace[i]);
+    err_sum += e;
+    err_sq += e * e;
+  }
+  const double n = static_cast<double>(sim_trace.size());
+  const double mean_err = err_sum / n;
+  const double sd_err = std::sqrt(std::max(err_sq / n - mean_err * mean_err, 0.0));
+  const double total_err_pct = 100.0 * (sim_wh - ref_wh) / ref_wh;
+
+  std::printf("reference (\"real\") total: %.1f Wh\n", ref_wh);
+  std::printf("simulated total:          %.1f Wh  (%+.1f %%)\n", sim_wh,
+              total_err_pct);
+  std::printf("instantaneous error:      %.2f W (sigma %.2f)\n\n", mean_err,
+              sd_err);
+
+  // Dump the two traces as CSV when asked (for plotting Figure 1).
+  if (argc > 1 && std::string(argv[1]) == "--csv") {
+    support::CsvWriter csv(std::cout);
+    csv.row({"t_s", "real_w", "simulated_w"});
+    for (std::size_t i = 0; i < sim_trace.size(); ++i) {
+      csv.numeric_row({static_cast<double>(i), ref_trace[i], sim_trace[i]});
+    }
+  }
+
+  std::printf("shape check: |total error| < 5 %% (paper: 2.4 %%) -> %s\n",
+              std::abs(total_err_pct) < 5.0 ? "PASS" : "FAIL");
+  std::printf("shape check: instantaneous error well above total error, "
+              "as in the paper -> %s\n",
+              mean_err > std::abs(total_err_pct) ? "PASS" : "FAIL");
+  return std::abs(total_err_pct) < 5.0 ? 0 : 1;
+}

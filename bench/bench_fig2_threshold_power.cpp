@@ -1,0 +1,75 @@
+// Figure 2: datacenter power consumption as a function of the turn-on/off
+// thresholds (lambda_min, lambda_max), score-based policy, week workload.
+//
+// Paper shape: power falls as lambda_max grows (wait longer before adding
+// nodes) and as lambda_min grows (shut idle nodes down earlier); the
+// surface spans roughly 500-3000 kWh across the grid.
+//
+// Usage: bench_fig2_threshold_power [--fast] [--csv]
+//   --fast  coarser 3x3 grid (CI-friendly)
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  support::CliArgs args(argc, argv);
+  bench::print_banner(
+      "Figure 2 - power vs turn-on/off thresholds (SB policy)",
+      "power decreases with higher lambda_max and higher lambda_min; "
+      "dynamic turn on/off dramatically increases energy efficiency");
+
+  const auto jobs = bench::week_workload();
+  const double step = args.get_bool("fast", false) ? 0.40 : 0.20;
+
+  std::vector<double> lmins, lmaxs;
+  for (double l = 0.10; l <= 0.901; l += step) lmins.push_back(l);
+  for (double l = 0.20; l <= 1.001; l += step) lmaxs.push_back(l);
+
+  support::TextTable table;
+  std::vector<std::string> head{"lmin\\lmax"};
+  for (double lx : lmaxs) head.push_back(support::TextTable::num(lx * 100, 0));
+  table.header(head);
+
+  std::vector<std::vector<double>> surface;
+  double corner_hi = 0, corner_lo = 0;
+  for (double ln : lmins) {
+    std::vector<std::string> row{support::TextTable::num(ln * 100, 0)};
+    std::vector<double> srow;
+    for (double lx : lmaxs) {
+      if (lx <= ln) {
+        row.push_back("-");
+        srow.push_back(-1);
+        continue;
+      }
+      const auto res = bench::run_week(jobs, "SB", ln, lx);
+      row.push_back(support::TextTable::num(res.report.energy_kwh, 0));
+      srow.push_back(res.report.energy_kwh);
+      if (ln == lmins.front() && lx == lmaxs[1]) corner_hi = res.report.energy_kwh;
+      if (ln == lmins.back() && lx == lmaxs.back()) corner_lo = res.report.energy_kwh;
+    }
+    table.add_row(row);
+    surface.push_back(srow);
+  }
+  std::printf("Power consumption (kWh):\n%s\n", table.render().c_str());
+
+  if (args.get_bool("csv", false)) {
+    support::CsvWriter csv(std::cout);
+    csv.row({"lambda_min", "lambda_max", "kwh"});
+    for (std::size_t i = 0; i < lmins.size(); ++i) {
+      for (std::size_t j = 0; j < lmaxs.size(); ++j) {
+        if (surface[i][j] >= 0)
+          csv.numeric_row({lmins[i], lmaxs[j], surface[i][j]});
+      }
+    }
+  }
+
+  const bool pass = corner_lo < corner_hi;
+  std::printf("shape check: aggressive thresholds (high lmin, high lmax) "
+              "use less power than lazy ones -> %s (%.0f vs %.0f kWh)\n",
+              pass ? "PASS" : "FAIL", corner_lo, corner_hi);
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Figure 3: client satisfaction S as a function of the turn-on/off
+// thresholds (lambda_min, lambda_max), score-based policy, week workload.
+//
+// Paper shape: S decreases as the turn on/off mechanism gets more
+// aggressive (it shuts down more machines to save energy), ranging from
+// ~100 % down to the low 80s across the grid; the recommended balanced
+// point is lambda_min = 30 %, lambda_max = 90 % ("almost complete
+// fulfilment of the SLAs while getting substantial power reduction").
+//
+// Usage: bench_fig3_threshold_sla [--fast] [--csv]
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  support::CliArgs args(argc, argv);
+  bench::print_banner(
+      "Figure 3 - client satisfaction vs turn-on/off thresholds (SB policy)",
+      "S decreases when the turn on/off mechanism is more aggressive; "
+      "lambda = 30-90 gives a balanced trade-off");
+
+  const auto jobs = bench::week_workload();
+  const double step = args.get_bool("fast", false) ? 0.40 : 0.20;
+
+  std::vector<double> lmins, lmaxs;
+  for (double l = 0.10; l <= 0.901; l += step) lmins.push_back(l);
+  for (double l = 0.20; l <= 1.001; l += step) lmaxs.push_back(l);
+
+  support::TextTable table;
+  std::vector<std::string> head{"lmin\\lmax"};
+  for (double lx : lmaxs) head.push_back(support::TextTable::num(lx * 100, 0));
+  table.header(head);
+
+  std::vector<std::vector<double>> surface;
+  double s_lazy = 0, s_aggressive = 0;
+  for (double ln : lmins) {
+    std::vector<std::string> row{support::TextTable::num(ln * 100, 0)};
+    std::vector<double> srow;
+    for (double lx : lmaxs) {
+      if (lx <= ln) {
+        row.push_back("-");
+        srow.push_back(-1);
+        continue;
+      }
+      const auto res = bench::run_week(jobs, "SB", ln, lx);
+      row.push_back(support::TextTable::num(res.report.satisfaction, 1));
+      srow.push_back(res.report.satisfaction);
+      if (ln == lmins.front() && lx == lmaxs[1]) s_lazy = res.report.satisfaction;
+      if (ln == lmins.back() && lx == lmaxs.back())
+        s_aggressive = res.report.satisfaction;
+    }
+    table.add_row(row);
+    surface.push_back(srow);
+  }
+  std::printf("Client satisfaction (%%):\n%s\n", table.render().c_str());
+
+  if (args.get_bool("csv", false)) {
+    support::CsvWriter csv(std::cout);
+    csv.row({"lambda_min", "lambda_max", "satisfaction"});
+    for (std::size_t i = 0; i < lmins.size(); ++i) {
+      for (std::size_t j = 0; j < lmaxs.size(); ++j) {
+        if (surface[i][j] >= 0)
+          csv.numeric_row({lmins[i], lmaxs[j], surface[i][j]});
+      }
+    }
+  }
+
+  const bool pass = s_aggressive <= s_lazy;
+  std::printf("shape check: aggressive thresholds give at most the "
+              "satisfaction of lazy ones -> %s (%.1f vs %.1f %%)\n",
+              pass ? "PASS" : "FAIL", s_aggressive, s_lazy);
+  return pass ? 0 : 1;
+}

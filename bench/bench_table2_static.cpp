@@ -1,0 +1,65 @@
+// Table II: scheduling results of policies without migration.
+//
+// Random (RD), Round Robin (RR), Backfilling (BF) and the basic score-based
+// configuration SB0 (= Preq + Pres + Ppwr, no migration), all at
+// lambda = 30-90 on the week workload.
+//
+// Paper rows (Work/ON, CPU h, Pwr, S %, delay %):
+//   RD   24.3/41.7  14597.2  1952.1  33.2  474.5
+//   RR   23.5/51.9  11844.2  2321.0  60.4  338.4
+//   BF   10.1/22.2   6055.3  1007.3  98.0   10.4
+//   SB0   9.9/22.4   6055.3  1016.3  98.2   10.4
+// Shape: non-consolidating policies (RD, RR) burn far more energy and CPU
+// and violate many SLAs; BF and SB0 are nearly identical.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace easched;
+  bench::print_banner(
+      "Table II - static allocation (no migration), lambda = 30-90",
+      "RD/RR: poor energy efficiency + many SLA violations; BF strong; "
+      "SB0 behaves like BF");
+
+  const auto jobs = bench::week_workload();
+  support::TextTable table;
+  table.header(bench::table_header(false, false));
+
+  metrics::RunReport rd, rr, bf, sb0;
+  for (const char* p : {"RD", "RR", "BF", "SB0"}) {
+    const auto res = bench::run_week(jobs, p);
+    table.add_row(bench::report_row(p, res.report));
+    if (std::string(p) == "RD") rd = res.report;
+    if (std::string(p) == "RR") rr = res.report;
+    if (std::string(p) == "BF") bf = res.report;
+    if (std::string(p) == "SB0") sb0 = res.report;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  struct Check {
+    const char* what;
+    bool ok;
+  } checks[] = {
+      {"RD has the worst satisfaction", rd.satisfaction < rr.satisfaction &&
+                                            rd.satisfaction < bf.satisfaction},
+      {"RD and RR consume far more energy than BF (>30 % more)",
+       rd.energy_kwh > 1.3 * bf.energy_kwh &&
+           rr.energy_kwh > 1.3 * bf.energy_kwh},
+      {"RD and RR waste CPU vs BF (contention)",
+       rd.cpu_hours > 1.2 * bf.cpu_hours && rr.cpu_hours > 1.2 * bf.cpu_hours},
+      {"BF and SB0 nearly identical (within 3 % energy)",
+       std::abs(bf.energy_kwh - sb0.energy_kwh) < 0.03 * bf.energy_kwh},
+      {"BF and SB0 keep satisfaction high (> 95 %)",
+       bf.satisfaction > 95 && sb0.satisfaction > 95},
+      {"RD/RR keep many more nodes online than BF",
+       rd.avg_online > 1.1 * bf.avg_online &&
+           rr.avg_online > 1.1 * bf.avg_online},
+  };
+  bool all = true;
+  for (const auto& c : checks) {
+    std::printf("shape check: %s -> %s\n", c.what, c.ok ? "PASS" : "FAIL");
+    all = all && c.ok;
+  }
+  return all ? 0 : 1;
+}

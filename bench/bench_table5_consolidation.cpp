@@ -1,0 +1,80 @@
+// Table V: score-based scheduling with different consolidation costs
+// (Cempty, Cfill): (0, 40) never penalises empty hosts, (20, 40) is the
+// evaluation default, (60, 100) is aggressive.
+//
+// Paper rows (Ce, Cf, Work/ON, CPU, Pwr, S, delay, Mig):
+//    0  40  10.4/22.9  6055.2  1036.4  99.3   8.6    0
+//   20  40   9.7/21.0  6055.8   956.4  99.1   9.0   87
+//   60 100   9.3/22.0  6057.8   998.8  97.7  11.2  432
+// Shape: Ce = 0 performs no migrations at all (no reward to empty a host);
+// the balanced setting consolidates best; the aggressive one migrates an
+// order of magnitude more, hurting both S and energy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/score_based_policy.hpp"
+
+int main() {
+  using namespace easched;
+  bench::print_banner(
+      "Table V - consolidation parameters (Cempty, Cfill), SB, lambda 30-90",
+      "Ce=0: no migrations, worst power; (20,40): balanced, best; "
+      "(60,100): migration storm, S and power degrade");
+
+  const auto jobs = bench::week_workload();
+  support::TextTable table;
+  std::vector<std::string> head{"Ce", "Cf"};
+  const auto base = bench::table_header(false, true);
+  head.insert(head.end(), base.begin() + 1, base.end());
+  table.header(head);
+
+  struct Variant {
+    double ce, cf;
+  };
+  const Variant variants[] = {{0, 40}, {20, 40}, {60, 100}};
+  metrics::RunReport reports[3];
+  int i = 0;
+  for (const auto& v : variants) {
+    auto config = core::ScoreBasedConfig::sb();
+    config.params.c_empty = v.ce;
+    config.params.c_fill = v.cf;
+    auto policy = std::make_unique<core::ScoreBasedPolicy>(config);
+    const auto res =
+        bench::run_week(jobs, "SB", 0.30, 0.90, std::move(policy));
+    reports[i] = res.report;
+    auto row = bench::report_row("", res.report, false, true);
+    row.erase(row.begin());
+    row.insert(row.begin(), {support::TextTable::num(v.ce, 0),
+                             support::TextTable::num(v.cf, 0)});
+    table.add_row(row);
+    ++i;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  struct Check {
+    const char* what;
+    bool ok;
+  } checks[] = {
+      {"Ce=0 performs (almost) no migrations (paper: none)",
+       reports[0].migrations <= 5},
+      {"balanced (20,40) uses less power than Ce=0",
+       reports[1].energy_kwh < reports[0].energy_kwh},
+      {"aggressive (60,100) migrates much more than balanced (>= 1.5x)",
+       reports[2].migrations * 2 >= 3 * reports[1].migrations},
+      {"aggressive's churn degrades job delay vs balanced",
+       reports[2].delay_pct >= reports[1].delay_pct},
+      {"aggressive satisfaction <= balanced satisfaction",
+       reports[2].satisfaction <= reports[1].satisfaction + 0.2},
+  };
+  bool all = true;
+  for (const auto& c : checks) {
+    std::printf("shape check: %s -> %s\n", c.what, c.ok ? "PASS" : "FAIL");
+    all = all && c.ok;
+  }
+  std::printf(
+      "documented divergence: the paper additionally reports *worse* power "
+      "for (60,100) (998.8 vs 956.4 kWh); our simulated migrations are "
+      "cheap enough that the extra moves still consolidate profitably — "
+      "see EXPERIMENTS.md.\n");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Explore the power-vs-SLA trade-off of section V-A interactively: run the
+// score-based policy over a grid of (lambda_min, lambda_max) turn-on/off
+// thresholds and print both surfaces side by side (kWh and S %).
+//
+// A coarser, faster cousin of the Figure 2/3 benches; handy to see how the
+// trade-off moves when you change the workload intensity.
+//
+// Usage: tradeoff_explorer [--days 2] [--jobs-per-hour 11.5] [--seed N]
+//                          [--steps 4] [--policy SB]
+#include <cstdio>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "experiments/setup.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  support::CliArgs args(argc, argv);
+
+  workload::SyntheticConfig wl;
+  wl.seed = static_cast<std::uint64_t>(args.get_int("seed", 20071001));
+  wl.span_seconds = args.get_double("days", 2) * sim::kDay;
+  wl.mean_jobs_per_hour = args.get_double("jobs-per-hour", 11.5);
+  const auto jobs = workload::generate(wl);
+  std::printf("workload: %s\n\n",
+              workload::describe(workload::compute_stats(jobs)).c_str());
+
+  const int steps = static_cast<int>(args.get_int("steps", 4));
+  std::vector<double> lmins, lmaxs;
+  for (int i = 0; i < steps; ++i) {
+    lmins.push_back(0.10 + 0.80 * i / (steps - 1));  // 10 % .. 90 %
+    lmaxs.push_back(0.20 + 0.80 * i / (steps - 1));  // 20 % .. 100 %
+  }
+
+  support::TextTable power, sla;
+  std::vector<std::string> head{"lmin\\lmax"};
+  for (double lx : lmaxs) head.push_back(support::TextTable::num(lx * 100, 0));
+  power.header(head);
+  sla.header(head);
+
+  for (double ln : lmins) {
+    std::vector<std::string> prow{support::TextTable::num(ln * 100, 0)};
+    std::vector<std::string> srow = prow;
+    for (double lx : lmaxs) {
+      if (lx <= ln) {  // infeasible corner: lambda_max must exceed lambda_min
+        prow.push_back("-");
+        srow.push_back("-");
+        continue;
+      }
+      experiments::RunConfig config;
+      config.datacenter = experiments::evaluation_datacenter(wl.seed);
+      config.policy = args.get("policy", "SB");
+      config.driver.power.lambda_min = ln;
+      config.driver.power.lambda_max = lx;
+      const auto result = experiments::run_experiment(jobs, std::move(config));
+      prow.push_back(support::TextTable::num(result.report.energy_kwh, 0));
+      srow.push_back(support::TextTable::num(result.report.satisfaction, 1));
+    }
+    power.add_row(prow);
+    sla.add_row(srow);
+  }
+
+  std::printf("Power consumption (kWh):\n%s\n", power.render().c_str());
+  std::printf("Client satisfaction (%%):\n%s", sla.render().c_str());
+  return 0;
+}

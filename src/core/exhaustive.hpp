@@ -1,0 +1,93 @@
+// Exhaustive reference solver for the allocation matrix.
+//
+// Section III-B justifies hill climbing as "much faster and cheaper than
+// evaluating all possible configurations". This solver *does* evaluate all
+// possible configurations — every assignment of the movable columns to the
+// rows (queued columns may also stay on the virtual host) — and returns
+// the plan with the lowest total cost, where total cost is the sum of
+// Score(plan(vm), vm) evaluated under the final plan state (the virtual
+// row contributes its kInfScore queue penalty).
+//
+// Complexity is O((M+1)^N); it exists to validate the greedy solver's
+// solution quality on small instances (tests and the solver-quality
+// ablation bench), never for production scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/score.hpp"
+
+namespace easched::core {
+
+struct ExhaustiveResult {
+  std::vector<int> best_plan;   ///< row per column
+  double best_cost = 0;         ///< total cost of best_plan
+  std::uint64_t evaluated = 0;  ///< number of complete plans scored
+};
+
+/// Exhaustively optimizes `model` (same concept as hill_climb, plus
+/// support for moving a queued column back to the virtual row). The model
+/// is left in its best plan. `max_plans` caps the search as a safety net:
+/// the search returns the best plan found so far when exceeded.
+template <typename Model>
+ExhaustiveResult exhaustive_search(Model& model,
+                                   std::uint64_t max_plans = 10'000'000) {
+  const int rows = model.rows();
+  const int cols = model.cols();
+
+  ExhaustiveResult result;
+  result.best_plan.resize(static_cast<std::size_t>(cols));
+  const auto snapshot_plan = [&] {
+    for (int c = 0; c < cols; ++c) {
+      result.best_plan[static_cast<std::size_t>(c)] = model.plan_row(c);
+    }
+  };
+  const auto total_cost = [&] {
+    double sum = 0;
+    for (int c = 0; c < cols; ++c) sum += model.cell(model.plan_row(c), c);
+    return sum;
+  };
+
+  snapshot_plan();
+  result.best_cost = total_cost();
+  if (cols == 0) return result;
+
+  const std::function<void(int)> recurse = [&](int c) {
+    if (result.evaluated >= max_plans) return;
+    if (c == cols) {
+      ++result.evaluated;
+      const double cost = total_cost();
+      if (cost < result.best_cost) {
+        result.best_cost = cost;
+        snapshot_plan();
+      }
+      return;
+    }
+    if (!model.movable(c)) {
+      recurse(c + 1);
+      return;
+    }
+    const int original = model.plan_row(c);
+    for (int r = 0; r < rows; ++r) {
+      // Eviction to the queue is only a state for columns that start there.
+      if (r == model.virtual_row() && original != model.virtual_row()) {
+        continue;
+      }
+      if (model.plan_row(c) != r) model.move(r, c);
+      recurse(c + 1);
+    }
+    if (model.plan_row(c) != original) model.move(original, c);
+  };
+  recurse(0);
+
+  // Replay the best plan into the model.
+  for (int c = 0; c < cols; ++c) {
+    const int r = result.best_plan[static_cast<std::size_t>(c)];
+    if (model.plan_row(c) != r) model.move(r, c);
+  }
+  return result;
+}
+
+}  // namespace easched::core

@@ -1,0 +1,107 @@
+// Algorithm 1 of the paper: hill-climbing optimization of the allocation
+// matrix.
+//
+// Iteratively pick the cell with the most negative delta — the score of
+// planning the VM on a host minus the score of keeping it where it is — and
+// apply that move, until no negative delta remains or the iteration limit
+// hits ("a suboptimal solution much faster and cheaper than evaluating all
+// possible configurations", section III-B).
+//
+// The solver is generic over the model so the paper's worked 5x6 example
+// matrix (and any toy model in the tests) can be optimized with exactly the
+// code the real policy uses. The model concept:
+//   int rows(), int cols(), int virtual_row();
+//   double cell(int r, int c);            // score under the current plan
+//   int plan_row(int c); bool movable(int c);
+//   Dirty move(int r, int c);             // Dirty{col, row_a, row_b}
+#pragma once
+
+#include <vector>
+
+#include "core/score.hpp"
+
+namespace easched::core {
+
+struct HillClimbStats {
+  int moves = 0;
+  int migration_moves = 0;  ///< moves of columns that started on a real host
+  bool hit_move_limit = false;
+  double total_gain = 0;  ///< sum of (negative) deltas taken, as a positive
+};
+
+struct HillClimbLimits {
+  int max_moves = 256;          ///< Algorithm 1 iteration limit
+  int max_migration_moves = 256;  ///< budget for moves of running VMs
+  /// Minimum improvement for a move; migrations additionally require
+  /// `min_migration_gain` so marginal reshuffles of running VMs (whose
+  /// real cost the matrix only approximates) are not taken.
+  double min_gain = 1e-9;
+  double min_migration_gain = 1e-9;
+};
+
+template <typename Model>
+HillClimbStats hill_climb(Model& model, const HillClimbLimits& limits) {
+  HillClimbStats stats;
+  const int rows = model.rows();
+  const int cols = model.cols();
+  if (cols == 0 || rows <= 1) return stats;
+
+  // Cache of Score(h, vm) under the current plan.
+  std::vector<double> score(static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(cols));
+  const auto at = [cols](int r, int c) {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+           static_cast<std::size_t>(c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) score[at(r, c)] = model.cell(r, c);
+  }
+
+  while (stats.moves < limits.max_moves) {
+    // Scan for the most negative delta ("smallest position on CM").
+    int best_r = -1, best_c = -1;
+    double best_delta = -limits.min_gain;
+    for (int c = 0; c < cols; ++c) {
+      if (!model.movable(c)) continue;
+      const bool is_migration = model.original_row(c) != model.virtual_row();
+      if (is_migration &&
+          stats.migration_moves >= limits.max_migration_moves) {
+        continue;
+      }
+      const double threshold =
+          is_migration ? -limits.min_migration_gain : -limits.min_gain;
+      const double keep = score[at(model.plan_row(c), c)];
+      for (int r = 0; r < rows; ++r) {
+        if (r == model.plan_row(c) || r == model.virtual_row()) continue;
+        const double delta = score[at(r, c)] - keep;
+        if (delta < best_delta && delta <= threshold) {
+          best_delta = delta;
+          best_r = r;
+          best_c = c;
+        }
+      }
+    }
+    if (best_c < 0) break;  // no negative values remain
+
+    if (model.original_row(best_c) != model.virtual_row()) {
+      ++stats.migration_moves;
+    }
+    const auto dirty = model.move(best_r, best_c);
+    ++stats.moves;
+    stats.total_gain -= best_delta;
+
+    // Refresh the dirty region: the moved VM's column and every cell of the
+    // two affected rows (their occupation changed for all columns).
+    for (int r = 0; r < rows; ++r) {
+      score[at(r, dirty.col)] = model.cell(r, dirty.col);
+    }
+    for (int c = 0; c < cols; ++c) {
+      if (dirty.row_a >= 0) score[at(dirty.row_a, c)] = model.cell(dirty.row_a, c);
+      if (dirty.row_b >= 0) score[at(dirty.row_b, c)] = model.cell(dirty.row_b, c);
+    }
+  }
+  stats.hit_move_limit = stats.moves >= limits.max_moves;
+  return stats;
+}
+
+}  // namespace easched::core

@@ -1,0 +1,51 @@
+#include "core/penalties.hpp"
+
+#include "support/contracts.hpp"
+
+namespace easched::core {
+
+double p_req(bool hw_sw_compatible) {
+  return hw_sw_compatible ? 0.0 : kInfScore;
+}
+
+double p_res(double occupation_after) {
+  return occupation_after > 1.0 + 1e-9 ? kInfScore : 0.0;
+}
+
+double p_migration(double cm, double tr) {
+  EA_EXPECTS(cm > 0);
+  if (tr < cm) return 2.0 * cm;
+  return cm * cm / (2.0 * tr);
+}
+
+double p_virt(bool vm_in_host, bool operation_on_vm, bool vm_is_new,
+              double cc, double pm) {
+  if (vm_in_host) return 0.0;
+  if (operation_on_vm) return kInfScore;
+  if (vm_is_new) return cc;
+  return pm;
+}
+
+double p_conc(bool vm_in_host, double concurrent_ops_remaining_s) {
+  EA_EXPECTS(concurrent_ops_remaining_s >= 0);
+  return vm_in_host ? 0.0 : concurrent_ops_remaining_s;
+}
+
+double p_pwr(int vm_count, int th_empty, double c_empty,
+             double occupation_after, double c_fill) {
+  const double t_empty = vm_count <= th_empty ? 1.0 : 0.0;
+  return t_empty * c_empty - occupation_after * c_fill;
+}
+
+double p_sla(double fulfilment, double th_sla, double c_sla) {
+  EA_EXPECTS(fulfilment >= 0.0 && fulfilment <= 1.0);
+  if (fulfilment >= 1.0) return 0.0;
+  if (fulfilment <= th_sla) return kSoftInfScore;
+  return c_sla;
+}
+
+double p_fault(double reliability, double fault_tolerance, double c_fail) {
+  return ((1.0 - reliability) - fault_tolerance) * c_fail;
+}
+
+}  // namespace easched::core

@@ -1,0 +1,55 @@
+// The individual penalty terms of the score matrix, as pure functions
+// (section III-A.1 through III-A.7). Each mirrors one displayed equation of
+// the paper; the ScoreModel composes them into Score(h, vm).
+#pragma once
+
+#include "core/score.hpp"
+
+namespace easched::core {
+
+/// III-A.1, Preq: infinity when the host cannot satisfy the VM's hardware /
+/// software requirements, 0 otherwise.
+double p_req(bool hw_sw_compatible);
+
+/// III-A.2, Pres: infinity when the occupation of the host after allocating
+/// the VM exceeds 100 %, 0 otherwise.
+double p_res(double occupation_after);
+
+/// III-A.3, the migration-cost term Pm:
+///   Pm = 2*Cm                if Tr < Cm      (about to finish: migrating
+///                                             costs more than it saves)
+///   Pm = Cm^2 / (2*Tr)       if Tr >= Cm     (decays with remaining time)
+/// Tr is the remaining execution time *according to the user estimate*
+/// (Tu - time since submission) and may be negative for overdue jobs.
+/// The paper typesets the second branch ambiguously (Cm/2 over Tr); we use
+/// Cm^2/(2 Tr), which keeps the term in seconds like every other cost and
+/// equals Cm/2 at the branch point Tr = Cm. Requires cm > 0.
+double p_migration(double cm, double tr);
+
+/// III-A.3, Pvirt: 0 when the VM already lives on this host; infinity while
+/// an operation is in flight on the VM; the creation cost for a new VM; the
+/// migration term otherwise. `pm` is p_migration(...) precomputed.
+double p_virt(bool vm_in_host, bool operation_on_vm, bool vm_is_new,
+              double cc, double pm);
+
+/// III-A.3, Pconc: concurrency penalty — the summed remaining cost of the
+/// operations (creations/migrations) already running on the host; 0 when
+/// the VM is already there.
+double p_conc(bool vm_in_host, double concurrent_ops_remaining_s);
+
+/// III-A.4, Ppwr = Tempty(h)*Ce - O(h,vm)*Cf. `vm_count` is the number of
+/// VMs the host currently hosts (the candidate VM not included).
+double p_pwr(int vm_count, int th_empty, double c_empty,
+             double occupation_after, double c_fill);
+
+/// III-A.5, PSLA over the projected fulfilment in [0, 1]:
+///   0 when fulfilment = 1; Csla when th_sla < fulfilment < 1;
+///   infinity when fulfilment <= th_sla.
+double p_sla(double fulfilment, double th_sla, double c_sla);
+
+/// III-A.6, Pfault = ((1 - Frel) - Ftol) * Cfail. May be negative when the
+/// VM tolerates more unavailability than the host exhibits (the paper keeps
+/// the formula signed).
+double p_fault(double reliability, double fault_tolerance, double c_fail);
+
+}  // namespace easched::core

@@ -1,0 +1,121 @@
+#include "core/score_based_policy.hpp"
+
+#include <algorithm>
+
+#include "core/hill_climb.hpp"
+#include "support/contracts.hpp"
+
+namespace easched::core {
+
+ScoreBasedConfig ScoreBasedConfig::sb0() {
+  ScoreBasedConfig c;
+  c.params.use_virt = false;
+  c.params.use_conc = false;
+  c.params.use_pwr = true;
+  c.label = "SB0";
+  return c;
+}
+
+ScoreBasedConfig ScoreBasedConfig::sb1() {
+  ScoreBasedConfig c = sb0();
+  c.params.use_virt = true;
+  c.label = "SB1";
+  return c;
+}
+
+ScoreBasedConfig ScoreBasedConfig::sb2() {
+  ScoreBasedConfig c = sb1();
+  c.params.use_conc = true;
+  c.label = "SB2";
+  return c;
+}
+
+ScoreBasedConfig ScoreBasedConfig::sb() {
+  ScoreBasedConfig c = sb2();
+  c.migration = true;
+  c.label = "SB";
+  return c;
+}
+
+ScoreBasedConfig ScoreBasedConfig::sb_full() {
+  ScoreBasedConfig c = sb();
+  c.params.use_sla = true;
+  c.params.use_fault = true;
+  c.label = "SB-full";
+  return c;
+}
+
+std::vector<sched::Action> ScoreBasedPolicy::schedule(
+    const sched::SchedContext& ctx) {
+  const sim::SimTime now = ctx.dc.simulator().now();
+  const bool consolidate =
+      config_.migration &&
+      now - last_consolidation_ >= config_.migration_period_s;
+  if (consolidate) last_consolidation_ = now;
+
+  ScoreModel model(ctx.dc, ctx.queue, config_.params, consolidate);
+  if (config_.solver == MatrixSolver::kAnnealing) {
+    // Deterministic per round: derive the walk seed from the clock.
+    AnnealingParams params = config_.annealing;
+    params.seed ^= static_cast<std::uint64_t>(now * 1000.0);
+    anneal(model, params);
+    last_stats_ = {};
+  } else {
+    HillClimbLimits limits;
+    limits.max_moves = config_.max_moves;
+    limits.max_migration_moves = config_.max_migrations_per_round;
+    limits.min_migration_gain = config_.min_migration_gain;
+    last_stats_ = hill_climb(model, limits);
+  }
+
+  std::vector<sched::Action> actions;
+  int migrations_emitted = 0;
+  for (int c = 0; c < model.cols(); ++c) {
+    const int planned = model.plan_row(c);
+    const int original = model.original_row(c);
+    if (planned == original) continue;
+    if (planned == model.virtual_row()) continue;  // annealing may evict
+    const datacenter::VmId v = model.vm_at(c);
+    const datacenter::HostId h = model.host_at(planned);
+    if (original == model.virtual_row()) {
+      actions.push_back(sched::Action::place(v, h));
+    } else if (migrations_emitted < config_.max_migrations_per_round) {
+      // The hill climber enforces the migration budget internally; the
+      // annealing plan is capped here.
+      actions.push_back(sched::Action::migrate(v, h));
+      ++migrations_emitted;
+    }
+  }
+  return actions;
+}
+
+datacenter::HostId ScoreBasedPolicy::choose_power_off(
+    const sched::SchedContext& ctx,
+    const std::vector<datacenter::HostId>& idle_hosts) {
+  EA_EXPECTS(!idle_hosts.empty());
+  // Rank by the aggregated matrix row of each idle candidate.
+  ScoreModel model(ctx.dc, ctx.queue, config_.params, config_.migration);
+  datacenter::HostId best = idle_hosts.front();
+  double best_score = -1;
+  for (int r = 0; r < model.virtual_row(); ++r) {
+    const datacenter::HostId h = model.host_at(r);
+    if (std::find(idle_hosts.begin(), idle_hosts.end(), h) ==
+        idle_hosts.end()) {
+      continue;
+    }
+    double agg = model.row_aggregate(r);
+    if (model.cols() == 0) {
+      // Empty matrix: fall back to overhead-based ranking so the choice
+      // stays deterministic and sensible.
+      agg = ctx.dc.host(h).spec.creation_cost_s +
+            ctx.dc.host(h).spec.migration_cost_s;
+    }
+    if (agg > best_score) {
+      best_score = agg;
+      best = h;
+    }
+  }
+  return best;
+}
+
+}  // namespace easched::core

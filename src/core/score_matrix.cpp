@@ -1,0 +1,228 @@
+#include "core/score_matrix.hpp"
+
+#include <algorithm>
+
+#include "core/penalties.hpp"
+#include "support/contracts.hpp"
+#include "workload/satisfaction.hpp"
+
+namespace easched::core {
+
+using datacenter::HostId;
+using datacenter::HostState;
+using datacenter::VmId;
+using datacenter::VmState;
+
+ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
+                       const std::vector<VmId>& queued,
+                       const ScoreParams& params, bool migration_enabled)
+    : params_(params) {
+  const sim::SimTime now = dc.simulator().now();
+
+  // Rows: powered-on hosts.
+  std::vector<int> row_of_host(dc.num_hosts(), -1);
+  for (HostId h = 0; h < dc.num_hosts(); ++h) {
+    const auto& host = dc.host(h);
+    if (!host.is_placeable()) continue;
+    HostRow r;
+    r.id = h;
+    r.cpu_cap = host.spec.cpu_capacity_pct;
+    r.mem_cap = host.spec.mem_mb;
+    r.cpu_res = dc.reserved_cpu_pct(h);
+    r.mem_res = dc.reserved_mem_mb(h);
+    r.vm_count = static_cast<int>(host.vm_count());
+    r.mgmt_demand = host.mgmt_demand_pct();
+    for (const auto& op : host.ops) {
+      r.conc_remaining_s += std::max(0.0, op.ends - now);
+    }
+    for (VmId v : host.residents) {
+      if (dc.vm(v).state == VmState::kRunning) {
+        r.running_demand += dc.vm(v).cpu_demand_pct;
+      }
+    }
+    r.creation_cost = host.spec.creation_cost_s;
+    r.migration_cost = host.spec.migration_cost_s;
+    r.reliability = host.spec.reliability;
+    r.arch = host.spec.arch;
+    r.software = host.spec.software;
+    row_of_host[h] = static_cast<int>(hosts_.size());
+    hosts_.push_back(r);
+  }
+
+  auto add_column = [&](const datacenter::Vm& vm, bool is_new) {
+    VmCol c;
+    c.id = vm.id;
+    c.cpu = vm.cpu_demand_pct;
+    c.mem = vm.job.mem_mb;
+    c.is_new = is_new;
+    c.can_move = true;
+    c.original = is_new ? virtual_row() : row_of_host[vm.host];
+    if (!is_new && c.original < 0) return;  // host offline; shouldn't happen
+    c.planned = c.original;
+    c.elapsed_s = now - vm.job.submit;
+    c.remaining_user_s = vm.job.dedicated_seconds - c.elapsed_s;
+    c.remaining_work_s = vm.remaining_work_s();
+    c.deadline_s = vm.job.deadline_seconds();
+    c.fault_tolerance = vm.job.fault_tolerance;
+    c.arch = vm.job.arch;
+    c.software = vm.job.software;
+    vms_.push_back(c);
+  };
+
+  for (VmId v : queued) {
+    EA_EXPECTS(dc.vm(v).state == VmState::kQueued);
+    add_column(dc.vm(v), /*is_new=*/true);
+  }
+  if (migration_enabled) {
+    for (VmId v : dc.active_vms()) {
+      const auto& vm = dc.vm(v);
+      // VMs with an operation in flight have infinite scores everywhere
+      // but home (III-A.3); excluding them as columns is equivalent.
+      if (vm.state == VmState::kRunning) add_column(vm, /*is_new=*/false);
+    }
+  }
+}
+
+int ScoreModel::rows() const { return static_cast<int>(hosts_.size()) + 1; }
+int ScoreModel::cols() const { return static_cast<int>(vms_.size()); }
+
+int ScoreModel::plan_row(int c) const {
+  EA_EXPECTS(c >= 0 && c < cols());
+  return vms_[static_cast<std::size_t>(c)].planned;
+}
+
+int ScoreModel::original_row(int c) const {
+  EA_EXPECTS(c >= 0 && c < cols());
+  return vms_[static_cast<std::size_t>(c)].original;
+}
+
+bool ScoreModel::movable(int c) const {
+  EA_EXPECTS(c >= 0 && c < cols());
+  return vms_[static_cast<std::size_t>(c)].can_move;
+}
+
+VmId ScoreModel::vm_at(int c) const {
+  EA_EXPECTS(c >= 0 && c < cols());
+  return vms_[static_cast<std::size_t>(c)].id;
+}
+
+HostId ScoreModel::host_at(int r) const {
+  EA_EXPECTS(r >= 0 && r < virtual_row());
+  return hosts_[static_cast<std::size_t>(r)].id;
+}
+
+double ScoreModel::cell(int r, int c) const {
+  EA_EXPECTS(r >= 0 && r < rows());
+  EA_EXPECTS(c >= 0 && c < cols());
+  if (r == virtual_row()) return kInfScore;
+  return score_cell(hosts_[static_cast<std::size_t>(r)],
+                    vms_[static_cast<std::size_t>(c)]);
+}
+
+double ScoreModel::score_cell(const HostRow& h, const VmCol& v) const {
+  const bool planned_here =
+      v.planned != virtual_row() &&
+      &hosts_[static_cast<std::size_t>(v.planned)] == &h;
+  const bool home = v.original != virtual_row() &&
+                    &hosts_[static_cast<std::size_t>(v.original)] == &h;
+
+  // Preq — hardware and software requirements.
+  const bool compat =
+      h.arch == v.arch && (h.software & v.software) == v.software;
+  double s = p_req(compat);
+  if (is_inf_score(s)) return kInfScore;
+
+  // Pres — occupation after allocating the VM here.
+  const double cpu = h.cpu_res + (planned_here ? 0.0 : v.cpu);
+  const double mem = h.mem_res + (planned_here ? 0.0 : v.mem);
+  const double occupation = std::max(cpu / h.cpu_cap, mem / h.mem_cap);
+  s += p_res(occupation);
+  if (is_inf_score(s)) return kInfScore;
+
+  if (params_.use_virt) {
+    const double pm = p_migration(h.migration_cost, v.remaining_user_s);
+    s += p_virt(home, /*operation_on_vm=*/false, v.is_new, h.creation_cost,
+                pm);
+  }
+  if (params_.use_conc) {
+    s += p_conc(home, h.conc_remaining_s);
+  }
+  if (params_.use_pwr) {
+    const int count_wo_vm = h.vm_count - (planned_here ? 1 : 0);
+    s += p_pwr(count_wo_vm, params_.th_empty, params_.c_empty, occupation,
+               params_.c_fill);
+  }
+  if (params_.use_sla) {
+    double demand = h.running_demand + h.mgmt_demand;
+    if (!planned_here) demand += v.cpu;
+    const double rate = demand <= h.cpu_cap || demand <= 0
+                            ? 1.0
+                            : h.cpu_cap / demand;
+    // The transfer itself delays the job: creation for a new VM, the
+    // migration pause when the candidate host is not the VM's home.
+    const double transfer =
+        v.is_new ? h.creation_cost : (home ? 0.0 : h.migration_cost);
+    const double projected =
+        v.elapsed_s + transfer + v.remaining_work_s / rate;
+    const double fulfilment =
+        workload::satisfaction(std::max(projected, 0.0), v.deadline_s) /
+        100.0;
+    s += p_sla(fulfilment, params_.th_sla, params_.c_sla);
+  }
+  if (params_.use_fault) {
+    s += p_fault(h.reliability, v.fault_tolerance, params_.c_fail);
+  }
+  return std::min(s, kInfScore);
+}
+
+ScoreModel::Dirty ScoreModel::move(int r, int c) {
+  // Hill climbing only plans moves onto real hosts; the exhaustive
+  // reference solver additionally undoes placements by moving a queued
+  // column back to the virtual row (r == virtual_row()).
+  EA_EXPECTS(r >= 0 && r <= virtual_row());
+  EA_EXPECTS(c >= 0 && c < cols());
+  VmCol& v = vms_[static_cast<std::size_t>(c)];
+  EA_EXPECTS(v.can_move);
+  EA_EXPECTS(v.planned != r);
+
+  Dirty dirty;
+  dirty.col = c;
+  dirty.row_b = r == virtual_row() ? -1 : r;
+  if (v.planned != virtual_row()) {
+    HostRow& old_row = hosts_[static_cast<std::size_t>(v.planned)];
+    old_row.cpu_res -= v.cpu;
+    old_row.mem_res -= v.mem;
+    old_row.vm_count -= 1;
+    old_row.running_demand -= v.cpu;
+    dirty.row_a = v.planned;
+  }
+  if (r != virtual_row()) {
+    HostRow& new_row = hosts_[static_cast<std::size_t>(r)];
+    new_row.cpu_res += v.cpu;
+    new_row.mem_res += v.mem;
+    new_row.vm_count += 1;
+    new_row.running_demand += v.cpu;
+  }
+  v.planned = r;
+  return dirty;
+}
+
+double ScoreModel::row_aggregate(int r) const {
+  EA_EXPECTS(r >= 0 && r < rows());
+  if (r == virtual_row()) return kInfScore;
+  double finite_sum = 0;
+  int inf_count = 0;
+  for (int c = 0; c < cols(); ++c) {
+    const double s = cell(r, c);
+    if (is_inf_score(s)) {
+      ++inf_count;
+    } else {
+      finite_sum += s;
+    }
+  }
+  // Fold the infinity count in at a weight that dominates any finite sum
+  // but still compares two rows by their finite parts when counts tie.
+  return inf_count * 1e9 + finite_sum;
+}
+
+}  // namespace easched::core

@@ -1,0 +1,106 @@
+// The (M+1) x N score matrix and its planning state (section III-A/III-B).
+//
+// ScoreModel snapshots the datacenter at the start of a scheduling round
+// and evaluates Score(h, vm) — the summed penalties of *planning* VM `vm`
+// on host `h`, given where every other VM is currently planned. The plan
+// starts as the real assignment (queued VMs on the virtual host, row M) and
+// is mutated by the hill-climbing solver; host bookkeeping (reserved CPU /
+// memory, VM counts, running demand) tracks the plan so each score reflects
+// the hypothetical final configuration, while the one-off move costs
+// (Pvirt) are always charged from the VM's *original* location.
+#pragma once
+
+#include <vector>
+
+#include "core/score.hpp"
+#include "datacenter/datacenter.hpp"
+#include "datacenter/ids.hpp"
+
+namespace easched::core {
+
+class ScoreModel {
+ public:
+  /// Snapshots `dc`. Columns are built from the queued VMs plus — when
+  /// `migration_enabled` — every running VM (they are then movable).
+  /// Running VMs with an operation in flight are pinned wherever they are
+  /// (the paper gives them infinite scores; we simply exclude them as
+  /// columns, which is equivalent and cheaper). Rows are the powered-on
+  /// hosts plus the virtual host as the last row.
+  ScoreModel(const datacenter::Datacenter& dc,
+             const std::vector<datacenter::VmId>& queued,
+             const ScoreParams& params, bool migration_enabled);
+
+  [[nodiscard]] int rows() const;  ///< hosts + 1 (virtual host, last row)
+  [[nodiscard]] int cols() const;
+  [[nodiscard]] int virtual_row() const { return rows() - 1; }
+
+  /// Score(h, vm) for the current plan. The virtual row is kInfScore.
+  [[nodiscard]] double cell(int r, int c) const;
+
+  /// Row where column `c` is currently planned.
+  [[nodiscard]] int plan_row(int c) const;
+  /// Row where column `c` started (virtual row for queued VMs).
+  [[nodiscard]] int original_row(int c) const;
+  /// Whether the solver may move column `c` (queued VMs always; running
+  /// VMs only when migration is enabled).
+  [[nodiscard]] bool movable(int c) const;
+
+  /// Applies a plan move of column `c` to row `r` and returns the dirty
+  /// region: every cell of column `c`, plus every cell of the rows the VM
+  /// left and entered (their occupation changed for all other columns).
+  /// Moving to the virtual row (allowed only for undo by the exhaustive
+  /// reference solver) releases the column's reservations.
+  struct Dirty {
+    int col = -1;
+    int row_a = -1;  ///< previous row (-1 if it was the virtual row)
+    int row_b = -1;  ///< new row (-1 if the virtual row)
+  };
+  Dirty move(int r, int c);
+
+  /// Mapping back to datacenter ids.
+  [[nodiscard]] datacenter::VmId vm_at(int c) const;
+  [[nodiscard]] datacenter::HostId host_at(int r) const;
+
+  /// Aggregated row score (used to rank idle hosts for power-off,
+  /// section III-C): sum of the finite scores plus kInfScore-weighted count
+  /// of infinite ones, folded into one comparable number.
+  [[nodiscard]] double row_aggregate(int r) const;
+
+ private:
+  struct HostRow {
+    datacenter::HostId id = 0;
+    double cpu_cap = 0, mem_cap = 0;
+    double cpu_res = 0, mem_res = 0;  ///< planned reservations
+    int vm_count = 0;                 ///< planned resident count
+    double running_demand = 0;        ///< planned guest CPU demand
+    double mgmt_demand = 0;
+    double conc_remaining_s = 0;      ///< Σ remaining op time (Pconc)
+    double creation_cost = 0, migration_cost = 0;
+    double reliability = 1;
+    workload::Arch arch{};
+    std::uint32_t software = 0;
+  };
+  struct VmCol {
+    datacenter::VmId id = 0;
+    double cpu = 0, mem = 0;
+    bool is_new = false;
+    bool can_move = false;
+    int original = -1;  ///< row index; virtual row for queued
+    int planned = -1;
+    double elapsed_s = 0;        ///< now - submit
+    double remaining_user_s = 0; ///< Tr = Tu - elapsed (may be < 0)
+    double remaining_work_s = 0; ///< actual work left (SLA projection)
+    double deadline_s = 0;
+    double fault_tolerance = 0;
+    workload::Arch arch{};
+    std::uint32_t software = 0;
+  };
+
+  [[nodiscard]] double score_cell(const HostRow& h, const VmCol& v) const;
+
+  ScoreParams params_;
+  std::vector<HostRow> hosts_;
+  std::vector<VmCol> vms_;
+};
+
+}  // namespace easched::core

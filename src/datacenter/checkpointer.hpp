@@ -1,0 +1,28 @@
+// Checkpoint cadence for the fault-tolerance extension (section III-C: a
+// VM restarted after a node failure "tries to recover it from the more
+// recent checkpoint, and if there is not available checkpoint, it recreates
+// the VM").
+//
+// Pure policy object: decides *when* a VM is due for a checkpoint; the
+// Datacenter performs the actual snapshot (a short dom0 operation).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace easched::datacenter {
+
+struct CheckpointPolicy {
+  bool enabled = false;
+  sim::SimTime period_s = 1800;        ///< snapshot every 30 min of progress
+  double duration_s = 10;              ///< dom0 busy time per snapshot
+  double overhead_cpu_pct = 50;        ///< dom0 CPU while snapshotting
+
+  /// A VM is due when it has accumulated at least `period_s` of work since
+  /// its last checkpoint (work-based rather than wall-clock so a starved VM
+  /// is not checkpointed repeatedly without new progress to save).
+  [[nodiscard]] bool due(double work_done_s, double work_checkpointed_s) const {
+    return enabled && work_done_s - work_checkpointed_s >= period_s;
+  }
+};
+
+}  // namespace easched::datacenter

@@ -1,0 +1,670 @@
+#include "datacenter/datacenter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "datacenter/xen_scheduler.hpp"
+#include "support/contracts.hpp"
+#include "support/distributions.hpp"
+#include "workload/satisfaction.hpp"
+
+namespace easched::datacenter {
+
+namespace {
+constexpr double kEps = 1e-9;
+/// Slack tolerated when asserting a finish event hit zero remaining work.
+constexpr double kFinishSlack = 1e-3;
+}  // namespace
+
+Datacenter::Datacenter(sim::Simulator& simulator, DatacenterConfig config,
+                       metrics::Recorder& recorder)
+    : sim_(simulator),
+      config_(std::move(config)),
+      recorder_(recorder),
+      rng_(config_.seed),
+      failure_model_(config_.mean_repair_s) {
+  EA_EXPECTS(!config_.hosts.empty());
+  EA_EXPECTS(recorder_.watts.size() == config_.hosts.size());
+  hosts_.resize(config_.hosts.size());
+  failure_events_.assign(config_.hosts.size(), sim::kNoEvent);
+  const std::size_t on_count =
+      std::min(config_.initially_on, config_.hosts.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i].id = static_cast<HostId>(i);
+    hosts_[i].spec = config_.hosts[i];
+    hosts_[i].state = i < on_count ? HostState::kOn : HostState::kOff;
+    update_power(hosts_[i]);
+    if (config_.inject_failures && hosts_[i].state == HostState::kOn) {
+      schedule_failure(hosts_[i].id);
+    }
+  }
+  update_node_counters();
+
+  if (config_.checkpoint.enabled) {
+    // Periodic scan; work-based due check in maybe_checkpoint().
+    sim_.every(std::max(config_.checkpoint.period_s / 2.0, 1.0), [this] {
+      for (auto& v : vms_) {
+        if (v.state == VmState::kRunning) maybe_checkpoint(v);
+      }
+    });
+  }
+}
+
+const Host& Datacenter::host(HostId h) const {
+  EA_EXPECTS(h < hosts_.size());
+  return hosts_[h];
+}
+
+Host& Datacenter::host_mut(HostId h) {
+  EA_EXPECTS(h < hosts_.size());
+  return hosts_[h];
+}
+
+const Vm& Datacenter::vm(VmId v) const {
+  EA_EXPECTS(v < vms_.size());
+  return vms_[v];
+}
+
+Vm& Datacenter::vm_mut(VmId v) {
+  EA_EXPECTS(v < vms_.size());
+  return vms_[v];
+}
+
+int Datacenter::online_count() const {
+  int n = 0;
+  for (const auto& h : hosts_) n += h.is_online() ? 1 : 0;
+  return n;
+}
+
+int Datacenter::working_count() const {
+  int n = 0;
+  for (const auto& h : hosts_) n += h.is_working() ? 1 : 0;
+  return n;
+}
+
+int Datacenter::offline_available_count() const {
+  int n = 0;
+  for (const auto& h : hosts_) n += h.state == HostState::kOff ? 1 : 0;
+  return n;
+}
+
+double Datacenter::reserved_cpu_pct(HostId h) const {
+  const Host& host = hosts_[h];
+  double cpu = 0;
+  for (VmId v : host.residents) cpu += vms_[v].cpu_demand_pct;
+  return cpu;
+}
+
+double Datacenter::reserved_mem_mb(HostId h) const {
+  const Host& host = hosts_[h];
+  double mem = 0;
+  for (VmId v : host.residents) mem += vms_[v].job.mem_mb;
+  // Outgoing migrations keep their memory pinned until the transfer ends.
+  for (const auto& op : host.ops) {
+    if (op.kind == Operation::Kind::kMigrateOut) mem += vms_[op.vm].job.mem_mb;
+  }
+  return mem;
+}
+
+double Datacenter::occupation(HostId h) const {
+  const Host& host = hosts_[h];
+  return std::max(reserved_cpu_pct(h) / host.spec.cpu_capacity_pct,
+                  reserved_mem_mb(h) / host.spec.mem_mb);
+}
+
+double Datacenter::occupation_if(HostId h, VmId v) const {
+  const Host& host = hosts_[h];
+  const Vm& m = vms_[v];
+  double cpu = reserved_cpu_pct(h);
+  double mem = reserved_mem_mb(h);
+  if (m.host != h) {
+    cpu += m.state == VmState::kRunning ? m.cpu_demand_pct : m.job.cpu_pct;
+    mem += m.job.mem_mb;
+  }
+  return std::max(cpu / host.spec.cpu_capacity_pct, mem / host.spec.mem_mb);
+}
+
+bool Datacenter::hw_sw_ok(HostId h, VmId v) const {
+  const Host& host = hosts_[h];
+  const workload::Job& job = vms_[v].job;
+  if (host.spec.arch != job.arch) return false;
+  return (host.spec.software & job.software) == job.software;
+}
+
+bool Datacenter::fits(HostId h, VmId v) const {
+  const Host& host = hosts_[h];
+  if (!host.is_placeable()) return false;
+  if (!hw_sw_ok(h, v)) return false;
+  return occupation_if(h, v) <= 1.0 + kEps;
+}
+
+bool Datacenter::fits_memory(HostId h, VmId v) const {
+  const Host& host = hosts_[h];
+  if (!host.is_placeable()) return false;
+  if (!hw_sw_ok(h, v)) return false;
+  const Vm& m = vms_[v];
+  double mem = reserved_mem_mb(h);
+  if (m.host != h) mem += m.job.mem_mb;
+  return mem <= host.spec.mem_mb + kEps;
+}
+
+double Datacenter::projected_rate(HostId h, VmId v) const {
+  const Host& host = hosts_[h];
+  const Vm& m = vms_[v];
+  const double demand_v =
+      m.state == VmState::kRunning ? m.cpu_demand_pct : m.job.cpu_pct;
+  double total = host.mgmt_demand_pct();
+  bool counted = false;
+  for (VmId r : host.residents) {
+    const Vm& rv = vms_[r];
+    if (rv.state != VmState::kRunning) continue;
+    total += rv.cpu_demand_pct;
+    if (r == v) counted = true;
+  }
+  if (!counted) total += demand_v;
+  if (total <= host.spec.cpu_capacity_pct || total <= 0) return 1.0;
+  const double over = total / host.spec.cpu_capacity_pct;
+  const double share = host.spec.cpu_capacity_pct / total;
+  const double eff = 1.0 / (1.0 + config_.contention_penalty * (over - 1.0));
+  return share * eff;
+}
+
+std::vector<VmId> Datacenter::active_vms() const {
+  std::vector<VmId> out;
+  out.reserve(vms_.size());
+  for (const auto& v : vms_) {
+    if (v.is_active()) out.push_back(v.id);
+  }
+  return out;
+}
+
+VmId Datacenter::admit_job(const workload::Job& job) {
+  Vm v;
+  v.id = static_cast<VmId>(vms_.size());
+  v.job = job;
+  v.state = VmState::kQueued;
+  v.cpu_demand_pct = job.cpu_pct;
+  v.last_progress_update = sim_.now();
+  vms_.push_back(std::move(v));
+  return vms_.back().id;
+}
+
+double Datacenter::draw_duration(double mean_s) {
+  return support::truncated_normal(
+      rng_, mean_s, mean_s * config_.duration_sigma_ratio, 1.0);
+}
+
+void Datacenter::integrate_progress(Vm& v) {
+  const sim::SimTime t = sim_.now();
+  if (v.state == VmState::kRunning && v.progress_rate > 0) {
+    v.work_done_s += v.progress_rate * (t - v.last_progress_update);
+    v.work_done_s = std::min(v.work_done_s, v.job.dedicated_seconds);
+  }
+  v.last_progress_update = t;
+}
+
+void Datacenter::reschedule_finish(Vm& v) {
+  sim_.cancel(v.finish_event);
+  v.finish_event = sim::kNoEvent;
+  if (v.state != VmState::kRunning || v.progress_rate <= 0) return;
+  const double remaining = v.remaining_work_s();
+  const VmId id = v.id;
+  v.finish_event =
+      sim_.after(remaining / v.progress_rate, [this, id] { finish_vm(id); });
+}
+
+void Datacenter::reallocate_io(HostId h) {
+  Host& host = hosts_[h];
+  const sim::SimTime t = sim_.now();
+
+  // 1. Integrate progress of the active operations at their old rates.
+  int active = 0;
+  for (auto& op : host.ops) {
+    if (!op.io_active()) continue;
+    op.done_s += op.rate * (t - op.last_update);
+    op.done_s = std::min(op.done_s, op.work_s);
+    op.last_update = t;
+    ++active;
+  }
+  if (active == 0) return;
+
+  // 2. Equal shares of the dom0 I/O channel, capped at full speed.
+  const double rate =
+      std::min(1.0, host.spec.dom0_io_channels / active);
+
+  // 3. Reschedule every active operation's completion.
+  for (auto& op : host.ops) {
+    if (!op.io_active()) continue;
+    op.rate = rate;
+    sim_.cancel(op.event);
+    const double eta = op.remaining_s() / rate;
+    op.ends = t + eta;
+    const Operation::Kind kind = op.kind;
+    const VmId v = op.vm;
+    op.event =
+        sim_.after(eta, [this, h, kind, v] { complete_operation(h, kind, v); });
+  }
+}
+
+void Datacenter::complete_operation(HostId h, Operation::Kind kind, VmId v) {
+  switch (kind) {
+    case Operation::Kind::kCreate:
+      complete_creation(h, v);
+      break;
+    case Operation::Kind::kMigrateIn:
+      complete_migration(vm(v).migration_source, h, v);
+      break;
+    case Operation::Kind::kCheckpoint:
+      complete_checkpoint(h, v);
+      break;
+    case Operation::Kind::kMigrateOut:
+      EA_ASSERT(false);  // passive leg never schedules an event
+      break;
+  }
+}
+
+void Datacenter::reallocate(HostId h) {
+  Host& host = hosts_[h];
+
+  // 1. Integrate progress of everything currently running here.
+  for (VmId r : host.residents) integrate_progress(vms_[r]);
+
+  // 2. Compute the new shares for the running residents.
+  std::vector<CpuDemand> demands;
+  std::vector<VmId> running;
+  demands.reserve(host.residents.size());
+  for (VmId r : host.residents) {
+    const Vm& rv = vms_[r];
+    if (rv.state != VmState::kRunning) continue;
+    demands.push_back({rv.cpu_demand_pct,
+                       static_cast<double>(rv.job.weight), 0.0});
+    running.push_back(r);
+  }
+  const XenAllocation alloc = allocate_cpu(
+      host.spec.cpu_capacity_pct, demands, host.mgmt_demand_pct());
+  double guest_demand = 0;
+  for (const auto& d : demands) guest_demand += d.demand_pct;
+  recorder_.max_oversubscription =
+      std::max(recorder_.max_oversubscription,
+               guest_demand / host.spec.cpu_capacity_pct);
+  const double eff =
+      1.0 / (1.0 + config_.contention_penalty * (alloc.oversubscription - 1.0));
+
+  // 3. Update rates and projected finish events.
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    Vm& rv = vms_[running[i]];
+    const double demand = std::max(rv.cpu_demand_pct, kEps);
+    rv.progress_rate = alloc.vm_alloc_pct[i] / demand * eff;
+    reschedule_finish(rv);
+  }
+
+  // 4. Re-derive power from the new total CPU usage.
+  host.used_cpu_pct = host.state == HostState::kOn ? alloc.used_pct : 0.0;
+  update_power(host);
+}
+
+void Datacenter::update_power(Host& h) {
+  double watts = 0;
+  double cpu = 0;
+  switch (h.state) {
+    case HostState::kOn:
+      watts = h.spec.power.watts_on(h.used_cpu_pct, h.spec.cpu_capacity_pct);
+      cpu = h.used_cpu_pct;
+      break;
+    case HostState::kBooting:
+    case HostState::kShuttingDown:
+      watts = h.spec.power.watts_boot();
+      break;
+    case HostState::kOff:
+    case HostState::kFailed:
+      watts = h.spec.power.watts_off();
+      break;
+  }
+  recorder_.watts.set(sim_.now(), h.id, watts);
+  recorder_.cpu_pct.set(sim_.now(), h.id, cpu);
+}
+
+void Datacenter::update_node_counters() {
+  recorder_.working.set(sim_.now(), working_count());
+  recorder_.online.set(sim_.now(), online_count());
+}
+
+void Datacenter::remove_resident(Host& h, VmId v) {
+  const auto it = std::find(h.residents.begin(), h.residents.end(), v);
+  EA_ASSERT(it != h.residents.end());
+  h.residents.erase(it);
+}
+
+void Datacenter::remove_op(Host& h, Operation::Kind kind, VmId v) {
+  const auto it =
+      std::find_if(h.ops.begin(), h.ops.end(), [&](const Operation& op) {
+        return op.kind == kind && op.vm == v;
+      });
+  EA_ASSERT(it != h.ops.end());
+  sim_.cancel(it->event);
+  h.ops.erase(it);
+}
+
+void Datacenter::place(VmId v, HostId h) {
+  Vm& m = vm_mut(v);
+  Host& host = host_mut(h);
+  EA_EXPECTS(m.state == VmState::kQueued);
+  EA_EXPECTS(host.state == HostState::kOn);
+  EA_EXPECTS(fits_memory(h, v));
+
+  m.state = VmState::kCreating;
+  m.host = h;
+  m.cpu_demand_pct = m.job.cpu_pct;
+  host.residents.push_back(v);
+
+  Operation op;
+  op.kind = Operation::Kind::kCreate;
+  op.vm = v;
+  op.overhead_cpu_pct = config_.creation_overhead_cpu_pct;
+  op.started = sim_.now();
+  op.last_update = sim_.now();
+  op.work_s = draw_duration(host.spec.creation_cost_s);
+  host.ops.push_back(op);
+  ++recorder_.counts.creations;
+
+  reallocate_io(h);
+  reallocate(h);
+  update_node_counters();
+}
+
+void Datacenter::complete_creation(HostId h, VmId v) {
+  Vm& m = vm_mut(v);
+  Host& host = host_mut(h);
+  EA_ASSERT(m.state == VmState::kCreating && m.host == h);
+  // Do not cancel our own (already fired) event: remove_op cancels a
+  // kNoEvent-safe handle because cancel() ignores fired events.
+  remove_op(host, Operation::Kind::kCreate, v);
+  m.state = VmState::kRunning;
+  m.last_progress_update = sim_.now();
+  reallocate_io(h);
+  reallocate(h);
+  update_node_counters();
+  if (on_vm_ready) on_vm_ready(v);
+}
+
+void Datacenter::migrate(VmId v, HostId to) {
+  Vm& m = vm_mut(v);
+  Host& dst = host_mut(to);
+  EA_EXPECTS(m.state == VmState::kRunning);
+  EA_EXPECTS(dst.state == HostState::kOn);
+  EA_EXPECTS(m.host != to);
+  EA_EXPECTS(fits_memory(to, v));
+  const HostId from = m.host;
+  Host& src = host_mut(from);
+
+  // Freeze execution on the source for the duration of the transfer.
+  integrate_progress(m);
+  m.progress_rate = 0;
+  sim_.cancel(m.finish_event);
+  m.finish_event = sim::kNoEvent;
+  remove_resident(src, v);
+
+  m.state = VmState::kMigrating;
+  m.migration_source = from;
+  m.host = to;
+  dst.residents.push_back(v);
+
+  const double duration = draw_duration(dst.spec.migration_cost_s);
+  Operation out_op;
+  out_op.kind = Operation::Kind::kMigrateOut;
+  out_op.vm = v;
+  out_op.overhead_cpu_pct = config_.migration_overhead_cpu_pct;
+  out_op.started = sim_.now();
+  out_op.last_update = sim_.now();
+  out_op.work_s = duration;
+  out_op.ends = sim_.now() + duration;  // paced by the receiver in reality
+  src.ops.push_back(out_op);
+
+  Operation in_op = out_op;
+  in_op.kind = Operation::Kind::kMigrateIn;
+  dst.ops.push_back(in_op);
+
+  ++recorder_.counts.migrations;
+  ++m.migrations;
+
+  reallocate_io(to);
+  reallocate(from);
+  reallocate(to);
+  update_node_counters();
+}
+
+void Datacenter::complete_migration(HostId from, HostId to, VmId v) {
+  Vm& m = vm_mut(v);
+  EA_ASSERT(m.state == VmState::kMigrating && m.host == to &&
+            m.migration_source == from);
+  remove_op(host_mut(from), Operation::Kind::kMigrateOut, v);
+  remove_op(host_mut(to), Operation::Kind::kMigrateIn, v);
+  m.state = VmState::kRunning;
+  m.migration_source = kNoHost;
+  m.last_progress_update = sim_.now();
+  reallocate_io(to);
+  reallocate(from);
+  reallocate(to);
+  update_node_counters();
+  if (on_migration_done) on_migration_done(v);
+}
+
+void Datacenter::finish_vm(VmId v) {
+  Vm& m = vm_mut(v);
+  EA_ASSERT(m.state == VmState::kRunning);
+  integrate_progress(m);
+  EA_ASSERT(m.remaining_work_s() <= kFinishSlack);
+  m.work_done_s = m.job.dedicated_seconds;
+  m.state = VmState::kFinished;
+  m.finished_at = sim_.now();
+  m.finish_event = sim::kNoEvent;
+  m.progress_rate = 0;
+
+  const double exec = m.finished_at - m.job.submit;
+  metrics::JobRecord rec;
+  rec.vm = v;
+  rec.submit = m.job.submit;
+  rec.finish = m.finished_at;
+  rec.dedicated_seconds = m.job.dedicated_seconds;
+  rec.deadline_seconds = m.job.deadline_seconds();
+  rec.satisfaction = workload::satisfaction(exec, rec.deadline_seconds);
+  rec.delay_pct = workload::delay_pct(exec, rec.dedicated_seconds);
+  rec.cpu_pct = m.job.cpu_pct;
+  recorder_.jobs.add(rec);
+
+  const HostId h = m.host;
+  remove_resident(host_mut(h), v);
+  m.host = kNoHost;
+  reallocate(h);
+  update_node_counters();
+  if (on_vm_finished) on_vm_finished(v);
+}
+
+void Datacenter::maybe_checkpoint(Vm& v) {
+  if (!config_.checkpoint.due(v.work_done_s, v.work_checkpointed_s)) {
+    // Integrate first so the due check sees current progress.
+    integrate_progress(v);
+    if (!config_.checkpoint.due(v.work_done_s, v.work_checkpointed_s)) return;
+  }
+  Host& host = host_mut(v.host);
+  // Skip when a checkpoint of this VM is already in flight.
+  for (const auto& op : host.ops) {
+    if (op.kind == Operation::Kind::kCheckpoint && op.vm == v.id) return;
+  }
+  Operation op;
+  op.kind = Operation::Kind::kCheckpoint;
+  op.vm = v.id;
+  op.overhead_cpu_pct = config_.checkpoint.overhead_cpu_pct;
+  op.started = sim_.now();
+  op.last_update = sim_.now();
+  op.work_s = config_.checkpoint.duration_s;
+  host.ops.push_back(op);
+  reallocate_io(v.host);
+  reallocate(v.host);
+  update_node_counters();
+}
+
+void Datacenter::complete_checkpoint(HostId h, VmId v) {
+  Vm& m = vm_mut(v);
+  remove_op(host_mut(h), Operation::Kind::kCheckpoint, v);
+  if (m.state == VmState::kRunning && m.host == h) {
+    integrate_progress(m);
+    m.work_checkpointed_s = m.work_done_s;
+    ++recorder_.counts.checkpoints;
+  }
+  reallocate_io(h);
+  reallocate(h);
+  update_node_counters();
+}
+
+void Datacenter::set_maintenance(HostId h, bool on) {
+  host_mut(h).maintenance = on;
+}
+
+void Datacenter::power_on(HostId h) {
+  Host& host = host_mut(h);
+  EA_EXPECTS(host.state == HostState::kOff);
+  host.state = HostState::kBooting;
+  update_power(host);
+  ++recorder_.counts.turn_ons;
+  host.transition_event = sim_.after(host.spec.boot_time_s, [this, h] {
+    Host& hh = host_mut(h);
+    hh.state = HostState::kOn;
+    hh.transition_event = sim::kNoEvent;
+    update_power(hh);
+    if (config_.inject_failures) schedule_failure(h);
+    update_node_counters();
+    if (on_host_online) on_host_online(h);
+  });
+  update_node_counters();
+}
+
+void Datacenter::power_off(HostId h) {
+  Host& host = host_mut(h);
+  EA_EXPECTS(host.is_idle_on());
+  cancel_failure(h);
+  host.state = HostState::kShuttingDown;
+  update_power(host);
+  ++recorder_.counts.turn_offs;
+  host.transition_event = sim_.after(host.spec.shutdown_time_s, [this, h] {
+    Host& hh = host_mut(h);
+    hh.state = HostState::kOff;
+    hh.transition_event = sim::kNoEvent;
+    update_power(hh);
+    update_node_counters();
+    if (on_host_off) on_host_off(h);
+  });
+  update_node_counters();
+}
+
+void Datacenter::boost_demand(VmId v, double new_demand_pct) {
+  Vm& m = vm_mut(v);
+  if (m.state != VmState::kRunning) return;
+  Host& host = host_mut(m.host);
+  const double clamped =
+      std::clamp(new_demand_pct, m.job.cpu_pct, host.spec.cpu_capacity_pct);
+  if (clamped == m.cpu_demand_pct) return;
+  m.cpu_demand_pct = clamped;
+  reallocate(m.host);
+}
+
+void Datacenter::boost_weight(VmId v, double factor) {
+  EA_EXPECTS(factor >= 1.0);
+  Vm& m = vm_mut(v);
+  const double boosted = std::min(m.job.weight * factor, 65536.0);
+  m.job.weight = static_cast<std::uint32_t>(boosted);
+  if (m.state == VmState::kRunning) reallocate(m.host);
+}
+
+void Datacenter::schedule_failure(HostId h) {
+  const Host& host = hosts_[h];
+  const double ttf =
+      failure_model_.draw_time_to_failure(rng_, host.spec.reliability);
+  if (!std::isfinite(ttf)) return;
+  sim_.cancel(failure_events_[h]);
+  failure_events_[h] = sim_.after(ttf, [this, h] { fail_host(h); });
+}
+
+void Datacenter::cancel_failure(HostId h) {
+  sim_.cancel(failure_events_[h]);
+  failure_events_[h] = sim::kNoEvent;
+}
+
+void Datacenter::fail_host(HostId h) {
+  Host& host = host_mut(h);
+  EA_ASSERT(host.state == HostState::kOn);
+  failure_events_[h] = sim::kNoEvent;
+  sim_.cancel(host.transition_event);
+  host.transition_event = sim::kNoEvent;
+
+  // Requeue every VM assigned here, restoring checkpointed progress. A VM
+  // migrating *into* this host also loses its transfer; drop the matching
+  // migrate-out leg on the (still alive) source.
+  std::vector<VmId> lost = host.residents;
+  for (VmId v : lost) {
+    Vm& m = vm_mut(v);
+    sim_.cancel(m.finish_event);
+    m.finish_event = sim::kNoEvent;
+    if (m.state == VmState::kMigrating && m.migration_source != kNoHost) {
+      remove_op(host_mut(m.migration_source), Operation::Kind::kMigrateOut, v);
+      reallocate(m.migration_source);
+    }
+    if (m.work_checkpointed_s > 0) ++recorder_.counts.checkpoint_recoveries;
+    m.work_done_s = m.work_checkpointed_s;
+    m.state = VmState::kQueued;
+    m.host = kNoHost;
+    m.migration_source = kNoHost;
+    m.progress_rate = 0;
+    m.cpu_demand_pct = m.job.cpu_pct;
+    ++m.restarts;
+  }
+  host.residents.clear();
+
+  // Abort in-flight operations. An outgoing migration whose source just
+  // died kills the transfer: the VM (resident at the destination) is
+  // requeued and the destination's migrate-in leg dropped.
+  std::vector<Operation> ops = std::move(host.ops);
+  host.ops.clear();
+  for (const auto& op : ops) {
+    sim_.cancel(op.event);
+    if (op.kind == Operation::Kind::kMigrateOut) {
+      Vm& m = vm_mut(op.vm);
+      if (m.state == VmState::kMigrating) {
+        const HostId dest = m.host;
+        remove_op(host_mut(dest), Operation::Kind::kMigrateIn, op.vm);
+        remove_resident(host_mut(dest), op.vm);
+        if (m.work_checkpointed_s > 0)
+          ++recorder_.counts.checkpoint_recoveries;
+        m.work_done_s = m.work_checkpointed_s;
+        m.state = VmState::kQueued;
+        m.host = kNoHost;
+        m.migration_source = kNoHost;
+        m.progress_rate = 0;
+        ++m.restarts;
+        lost.push_back(op.vm);
+        reallocate(dest);
+      }
+    }
+  }
+
+  host.state = HostState::kFailed;
+  host.used_cpu_pct = 0;
+  update_power(host);
+  ++recorder_.counts.failures;
+
+  const double repair = failure_model_.draw_repair_time(rng_);
+  host.transition_event = sim_.after(repair, [this, h] {
+    Host& hh = host_mut(h);
+    hh.state = HostState::kOff;
+    hh.transition_event = sim::kNoEvent;
+    update_power(hh);
+    update_node_counters();
+    if (on_host_repaired) on_host_repaired(h);
+  });
+
+  update_node_counters();
+  if (on_host_failed) on_host_failed(h, lost);
+}
+
+}  // namespace easched::datacenter

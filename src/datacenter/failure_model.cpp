@@ -1,0 +1,31 @@
+#include "datacenter/failure_model.hpp"
+
+#include <limits>
+
+#include "support/contracts.hpp"
+#include "support/distributions.hpp"
+
+namespace easched::datacenter {
+
+double FailureModel::mtbf_s(double reliability) const {
+  EA_EXPECTS(reliability >= 0.0 && reliability <= 1.0);
+  if (reliability >= 1.0) return std::numeric_limits<double>::infinity();
+  if (reliability <= 0.0) return 0.0;
+  return mttr_s_ * reliability / (1.0 - reliability);
+}
+
+double FailureModel::draw_time_to_failure(support::Rng& rng,
+                                          double reliability) const {
+  const double mtbf = mtbf_s(reliability);
+  if (!(mtbf < std::numeric_limits<double>::infinity()))
+    return std::numeric_limits<double>::infinity();
+  if (mtbf <= 0.0) return 0.0;
+  return support::exponential(rng, 1.0 / mtbf);
+}
+
+double FailureModel::draw_repair_time(support::Rng& rng) const {
+  EA_EXPECTS(mttr_s_ > 0.0);
+  return support::exponential(rng, 1.0 / mttr_s_);
+}
+
+}  // namespace easched::datacenter

@@ -1,0 +1,21 @@
+#include "datacenter/host.hpp"
+
+namespace easched::datacenter {
+
+const char* to_string(HostState state) noexcept {
+  switch (state) {
+    case HostState::kOff:
+      return "off";
+    case HostState::kBooting:
+      return "booting";
+    case HostState::kOn:
+      return "on";
+    case HostState::kShuttingDown:
+      return "shutting-down";
+    case HostState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace easched::datacenter

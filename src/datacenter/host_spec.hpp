@@ -1,0 +1,91 @@
+// Static description of a physical machine.
+//
+// The evaluation datacenter (section V) mixes three node classes that
+// differ in their virtualization overheads: 15 fast (Cc=30 s, Cm=40 s),
+// 50 medium (Cc=40 s, Cm=60 s), 35 slow (Cc=60 s, Cm=80 s). All are 4-way
+// machines following the Table I power curve.
+#pragma once
+
+#include <string>
+
+#include "datacenter/power_model.hpp"
+#include "workload/job.hpp"
+
+namespace easched::datacenter {
+
+struct HostSpec {
+  std::string klass = "medium";   ///< node class label (fast/medium/slow/...)
+  double cpu_capacity_pct = 400;  ///< total CPU [%]; 400 = 4 cores
+  double mem_mb = 4096;           ///< physical memory [MB]
+
+  double creation_cost_s = 40;    ///< Cc: mean VM creation time on this node
+  double migration_cost_s = 60;   ///< Cm: mean VM migration time to this node
+  double boot_time_s = 300;       ///< powered-off -> usable
+  double shutdown_time_s = 10;    ///< usable -> powered-off
+
+  /// Parallelism of the dom0 I/O channel: 1.0 means one management
+  /// operation (creation/migration/checkpoint) runs at full speed and `n`
+  /// concurrent ones each progress at 1/n (disk race, section III-A.3).
+  double dom0_io_channels = 1.0;
+
+  double reliability = 1.0;       ///< Frel in [0,1]: fraction of time up
+  workload::Arch arch = workload::Arch::kX86_64;
+  std::uint32_t software = workload::kSwXen;  ///< offered SoftwareFlags
+
+  PowerModel power = PowerModel::table1();
+
+  /// The three node classes of the paper's evaluation datacenter.
+  static HostSpec fast();
+  static HostSpec medium();
+  static HostSpec slow();
+
+  /// A wimpy low-power node (the "hybrid datacenter" idea of Chun et al.
+  /// [5], cited in section II): half the cores and memory, a fraction of
+  /// the wattage, slower virtualization operations.
+  static HostSpec low_power();
+};
+
+inline HostSpec HostSpec::fast() {
+  HostSpec s;
+  s.klass = "fast";
+  s.creation_cost_s = 30;
+  s.migration_cost_s = 40;
+  s.boot_time_s = 150;
+  return s;
+}
+
+inline HostSpec HostSpec::medium() {
+  HostSpec s;
+  s.klass = "medium";
+  s.creation_cost_s = 40;
+  s.migration_cost_s = 60;
+  s.boot_time_s = 300;
+  return s;
+}
+
+inline HostSpec HostSpec::slow() {
+  HostSpec s;
+  s.klass = "slow";
+  s.creation_cost_s = 60;
+  s.migration_cost_s = 80;
+  s.boot_time_s = 450;
+  return s;
+}
+
+inline HostSpec HostSpec::low_power() {
+  HostSpec s;
+  s.klass = "low-power";
+  s.cpu_capacity_pct = 200;
+  s.mem_mb = 2048;
+  s.creation_cost_s = 70;
+  s.migration_cost_s = 90;
+  s.boot_time_s = 60;  // small boards boot fast
+  s.power = PowerModel{{{0.00, 38.0},
+                        {0.50, 52.0},
+                        {1.00, 64.0}},
+                       /*off_watts=*/2.0,
+                       /*boot_watts=*/38.0};
+  return s;
+}
+
+}  // namespace easched::datacenter

@@ -1,0 +1,15 @@
+// Opaque integer identifiers for hosts and VMs. Both index dense vectors
+// inside Datacenter, so they are plain integers rather than wrapped types;
+// the aliases exist to make signatures self-describing.
+#pragma once
+
+#include <cstdint>
+
+namespace easched::datacenter {
+
+using HostId = std::uint32_t;
+using VmId = std::uint32_t;
+
+inline constexpr HostId kNoHost = ~HostId{0};
+
+}  // namespace easched::datacenter

@@ -1,0 +1,54 @@
+#include "datacenter/power_model.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace easched::datacenter {
+
+PowerModel::PowerModel(std::vector<std::pair<double, double>> points,
+                       double off_watts, double boot_watts)
+    : points_(std::move(points)),
+      off_watts_(off_watts),
+      boot_watts_(boot_watts) {
+  EA_EXPECTS(!points_.empty());
+  EA_EXPECTS(points_.front().first == 0.0);
+  EA_EXPECTS(std::is_sorted(points_.begin(), points_.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first < b.first;
+                            }));
+  EA_EXPECTS(off_watts >= 0.0);
+  EA_EXPECTS(boot_watts >= 0.0);
+}
+
+PowerModel PowerModel::table1() {
+  // Table I of the paper: 4-way machine; x re-expressed as utilisation.
+  return PowerModel{{{0.00, 230.0},
+                     {0.25, 259.0},
+                     {0.50, 273.0},
+                     {0.75, 291.0},
+                     {1.00, 304.0}},
+                    /*off_watts=*/10.0,
+                    /*boot_watts=*/230.0};
+}
+
+PowerModel PowerModel::constant(double watts_on, double off_watts) {
+  return PowerModel{{{0.0, watts_on}}, off_watts, watts_on};
+}
+
+double PowerModel::watts_on(double used_cpu_pct, double capacity_pct) const {
+  EA_EXPECTS(capacity_pct > 0.0);
+  const double u =
+      std::clamp(used_cpu_pct / capacity_pct, 0.0, 1.0);
+  if (u <= points_.front().first) return points_.front().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].first) {
+      const auto& [x0, y0] = points_[i - 1];
+      const auto& [x1, y1] = points_[i];
+      return y0 + (y1 - y0) * (u - x0) / (x1 - x0);
+    }
+  }
+  return points_.back().second;
+}
+
+}  // namespace easched::datacenter

@@ -1,0 +1,53 @@
+// Electrical power model of a virtualized server.
+//
+// Section IV-A of the paper measures a 4-way Xen host and finds that power
+// depends only on the *total* CPU consumed by the VMs, not on how many VMs
+// consume it (Table I): 230 W idle, 259/273/291/304 W at 100/200/300/400 %
+// CPU. We interpolate exactly those points, normalised by utilisation so
+// the same curve applies to hosts with a different core count.
+#pragma once
+
+#include <vector>
+
+namespace easched::datacenter {
+
+class PowerModel {
+ public:
+  /// Builds a model from (utilisation in [0,1], watts) breakpoints sorted by
+  /// utilisation; values between breakpoints are linearly interpolated,
+  /// values beyond the last breakpoint are clamped. Requires at least one
+  /// point and the first at utilisation 0 (the idle power).
+  PowerModel(std::vector<std::pair<double, double>> points,
+             double off_watts, double boot_watts);
+
+  /// The measured curve of the paper's testbed machine (Table I), with
+  /// 10 W standby when off and idle power while booting.
+  static PowerModel table1();
+
+  /// A load-independent machine (the paper warns these "should be avoided"
+  /// because consolidation cannot save anything); used by tests and the
+  /// energy-proportionality ablation.
+  static PowerModel constant(double watts_on, double off_watts = 10);
+
+  /// Power draw [W] while on, for `used_cpu_pct` of `capacity_pct` total
+  /// CPU. Requires capacity_pct > 0; used_cpu_pct is clamped to
+  /// [0, capacity_pct].
+  [[nodiscard]] double watts_on(double used_cpu_pct,
+                                double capacity_pct) const;
+
+  /// Power draw [W] when powered off (standby).
+  [[nodiscard]] double watts_off() const noexcept { return off_watts_; }
+
+  /// Power draw [W] while booting or shutting down.
+  [[nodiscard]] double watts_boot() const noexcept { return boot_watts_; }
+
+  /// Idle (utilisation 0) power while on.
+  [[nodiscard]] double watts_idle() const { return points_.front().second; }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  double off_watts_;
+  double boot_watts_;
+};
+
+}  // namespace easched::datacenter

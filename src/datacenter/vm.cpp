@@ -1,0 +1,21 @@
+#include "datacenter/vm.hpp"
+
+namespace easched::datacenter {
+
+const char* to_string(VmState state) noexcept {
+  switch (state) {
+    case VmState::kQueued:
+      return "queued";
+    case VmState::kCreating:
+      return "creating";
+    case VmState::kRunning:
+      return "running";
+    case VmState::kMigrating:
+      return "migrating";
+    case VmState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+}  // namespace easched::datacenter

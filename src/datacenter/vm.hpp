@@ -1,0 +1,71 @@
+// Runtime state of a virtual machine (one VM encapsulates one HPC job).
+//
+// Lifecycle:
+//   Queued -> Creating -> Running -> Finished
+//                 ^          |  ^
+//                 |          v  |        (migration pauses execution for
+//                 |      Migrating        the transfer, section III-A.3)
+//                 |          |
+//                 +----------+-- host failure requeues the VM, restoring
+//                                the last checkpoint if one exists (III-C)
+#pragma once
+
+#include "datacenter/ids.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/job.hpp"
+
+namespace easched::datacenter {
+
+enum class VmState : std::uint8_t {
+  kQueued,     ///< waiting in the scheduler's virtual host
+  kCreating,   ///< being created on `host`
+  kRunning,    ///< executing on `host`
+  kMigrating,  ///< moving from `migration_source` to `host`
+  kFinished,   ///< job completed
+};
+
+const char* to_string(VmState state) noexcept;
+
+struct Vm {
+  VmId id = 0;
+  workload::Job job;
+  VmState state = VmState::kQueued;
+
+  /// Current host (destination host while migrating); kNoHost when queued.
+  HostId host = kNoHost;
+  /// Source host while migrating, kNoHost otherwise.
+  HostId migration_source = kNoHost;
+
+  /// CPU demand [%]; starts at job.cpu_pct, may be raised by dynamic SLA
+  /// enforcement (section III-A.5) up to the host capacity.
+  double cpu_demand_pct = 0;
+
+  /// Dedicated-machine-equivalent seconds of work completed / checkpointed.
+  double work_done_s = 0;
+  double work_checkpointed_s = 0;
+
+  /// Progress bookkeeping: work accrues at `progress_rate` (dedicated
+  /// seconds per wall second, in [0,1]) since `last_progress_update`.
+  double progress_rate = 0;
+  sim::SimTime last_progress_update = 0;
+  sim::EventId finish_event = sim::kNoEvent;
+
+  sim::SimTime finished_at = -1;
+  int restarts = 0;            ///< times requeued after a host failure
+  int migrations = 0;
+
+  [[nodiscard]] double remaining_work_s() const {
+    const double r = job.dedicated_seconds - work_done_s;
+    return r > 0 ? r : 0;
+  }
+  /// True while a creation or migration involving this VM is in flight
+  /// (the Pvirt penalty bars any further action on it).
+  [[nodiscard]] bool operation_in_progress() const {
+    return state == VmState::kCreating || state == VmState::kMigrating;
+  }
+  [[nodiscard]] bool is_active() const {
+    return state != VmState::kFinished;
+  }
+};
+
+}  // namespace easched::datacenter

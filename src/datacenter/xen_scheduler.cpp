@@ -1,0 +1,77 @@
+#include "datacenter/xen_scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace easched::datacenter {
+
+XenAllocation allocate_cpu(double capacity_pct,
+                           const std::vector<CpuDemand>& vms,
+                           double mgmt_demand_pct) {
+  EA_EXPECTS(capacity_pct > 0);
+  EA_EXPECTS(mgmt_demand_pct >= 0);
+
+  XenAllocation out;
+  out.vm_alloc_pct.assign(vms.size(), 0.0);
+
+  // dom0 management work preempts guest VCPUs.
+  out.mgmt_alloc_pct = std::min(mgmt_demand_pct, capacity_pct);
+  double remaining = capacity_pct - out.mgmt_alloc_pct;
+
+  double total_demand = mgmt_demand_pct;
+  for (const auto& vm : vms) {
+    EA_EXPECTS(vm.demand_pct >= 0);
+    EA_EXPECTS(vm.weight > 0);
+    EA_EXPECTS(vm.cap_pct >= 0);
+    total_demand +=
+        vm.cap_pct > 0 ? std::min(vm.demand_pct, vm.cap_pct) : vm.demand_pct;
+  }
+  out.oversubscription =
+      total_demand > capacity_pct ? total_demand / capacity_pct : 1.0;
+
+  // Effective demand per VM (cap applied), then iterative water-filling:
+  // every round distributes `remaining` proportionally to the weights of
+  // unsatisfied VMs; VMs whose share exceeds their demand are clamped and
+  // their surplus is redistributed next round. Terminates in <= n rounds
+  // because each round satisfies at least one VM.
+  std::vector<double> want(vms.size());
+  std::vector<bool> satisfied(vms.size(), false);
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    want[i] = vms[i].cap_pct > 0 ? std::min(vms[i].demand_pct, vms[i].cap_pct)
+                                 : vms[i].demand_pct;
+    if (want[i] == 0) satisfied[i] = true;
+  }
+
+  while (remaining > 1e-9) {
+    double active_weight = 0;
+    for (std::size_t i = 0; i < vms.size(); ++i)
+      if (!satisfied[i]) active_weight += vms[i].weight;
+    if (active_weight == 0) break;
+
+    bool clamped_any = false;
+    const double budget = remaining;
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      if (satisfied[i]) continue;
+      const double share = budget * vms[i].weight / active_weight;
+      const double missing = want[i] - out.vm_alloc_pct[i];
+      if (share >= missing) {
+        out.vm_alloc_pct[i] += missing;
+        remaining -= missing;
+        satisfied[i] = true;
+        clamped_any = true;
+      } else {
+        out.vm_alloc_pct[i] += share;
+        remaining -= share;
+      }
+    }
+    if (!clamped_any) break;  // everyone took a proportional share; done
+  }
+
+  out.used_pct = out.mgmt_alloc_pct;
+  for (double a : out.vm_alloc_pct) out.used_pct += a;
+  EA_ENSURES(out.used_pct <= capacity_pct + 1e-6);
+  return out;
+}
+
+}  // namespace easched::datacenter

@@ -1,0 +1,42 @@
+// Model of the Xen credit hyperscheduler (section IV: "the internal
+// resource scheduling follows ... the Xen's resource scheduler", with
+// "Virtual Machine Weights and Capabilities").
+//
+// Given the host's CPU capacity and the per-VM demands, weights and caps,
+// computes a work-conserving weighted proportional-share allocation:
+//   * when total demand fits, every VM gets its demand;
+//   * otherwise capacity is distributed proportionally to weight, capped at
+//     each VM's demand, with the leftover water-filled over the still-hungry
+//     VMs (the credit scheduler's work-conserving behaviour).
+//
+// Management operations (VM creation / live migration, run in dom0) are
+// modelled as high-priority demands served before guest VMs, reflecting the
+// "CPU overload produced when creating new VMs or at migration time" that
+// the paper measured and simulated.
+#pragma once
+
+#include <vector>
+
+namespace easched::datacenter {
+
+struct CpuDemand {
+  double demand_pct = 0;   ///< requested CPU [% of one core]
+  double weight = 256;     ///< Xen credit weight
+  double cap_pct = 0;      ///< hard cap; 0 = uncapped (Xen convention)
+};
+
+struct XenAllocation {
+  std::vector<double> vm_alloc_pct;  ///< per-VM allocation, same order as input
+  double mgmt_alloc_pct = 0;         ///< allocated to management operations
+  double used_pct = 0;               ///< total allocated (drives power)
+  double oversubscription = 1.0;     ///< total demand / capacity, >= 1
+};
+
+/// Computes the allocation. `mgmt_demand_pct` is the aggregate dom0 demand
+/// of in-flight create/migrate operations. Requires capacity_pct > 0,
+/// non-negative demands, positive weights.
+XenAllocation allocate_cpu(double capacity_pct,
+                           const std::vector<CpuDemand>& vms,
+                           double mgmt_demand_pct = 0);
+
+}  // namespace easched::datacenter

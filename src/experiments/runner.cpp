@@ -1,0 +1,43 @@
+#include "experiments/runner.hpp"
+
+#include "experiments/setup.hpp"
+#include "sim/simulator.hpp"
+#include "support/contracts.hpp"
+
+namespace easched::experiments {
+
+RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
+  EA_EXPECTS(!jobs.empty());
+
+  sim::Simulator simulator;
+  metrics::Recorder recorder(config.datacenter.hosts.size());
+  datacenter::Datacenter dc(simulator, config.datacenter, recorder);
+
+  std::unique_ptr<sched::Policy> policy =
+      config.policy_instance ? std::move(config.policy_instance)
+                             : make_policy(config.policy);
+
+  sched::SchedulerDriver driver(simulator, dc, *policy, config.driver);
+  driver.submit_workload(jobs);
+  driver.on_all_done = [&simulator] { simulator.stop(); };
+
+  if (config.horizon_s > 0) {
+    simulator.run_until(config.horizon_s);
+  } else {
+    simulator.run();
+  }
+
+  RunResult result;
+  result.end_time_s = simulator.now();
+  result.jobs_submitted = driver.submitted();
+  result.jobs_finished = driver.finished();
+  result.events_dispatched = simulator.dispatched();
+  result.hit_horizon = config.horizon_s > 0 && !driver.all_done();
+  result.report =
+      make_report(recorder, simulator.now(), policy->name(),
+                  config.driver.power.lambda_min,
+                  config.driver.power.lambda_max);
+  return result;
+}
+
+}  // namespace easched::experiments

@@ -1,0 +1,42 @@
+// One-call experiment runner: wire simulator + datacenter + driver + policy,
+// run a workload to completion, return the table-row report.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "datacenter/datacenter.hpp"
+#include "metrics/report.hpp"
+#include "sched/driver.hpp"
+#include "workload/job.hpp"
+
+namespace easched::experiments {
+
+struct RunConfig {
+  datacenter::DatacenterConfig datacenter;
+  sched::DriverConfig driver;
+  std::string policy = "SB";
+
+  /// Custom policy instance (overrides `policy` name when set). The runner
+  /// takes ownership.
+  std::unique_ptr<sched::Policy> policy_instance;
+
+  /// Hard simulation-time cap as a safety net against pathological stalls;
+  /// runs normally end when the last job finishes. Zero disables the cap.
+  sim::SimTime horizon_s = 0;
+};
+
+struct RunResult {
+  metrics::RunReport report;
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_finished = 0;
+  std::uint64_t events_dispatched = 0;
+  sim::SimTime end_time_s = 0;
+  bool hit_horizon = false;
+};
+
+/// Runs `jobs` under the configuration and returns the aggregated report.
+/// The measurement window is [0, finish of last job].
+RunResult run_experiment(const workload::Workload& jobs, RunConfig config);
+
+}  // namespace easched::experiments

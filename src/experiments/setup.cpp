@@ -1,0 +1,58 @@
+#include "experiments/setup.hpp"
+
+#include <stdexcept>
+
+#include "core/score_based_policy.hpp"
+#include "policies/backfilling.hpp"
+#include "policies/dynamic_backfilling.hpp"
+#include "policies/random_policy.hpp"
+#include "policies/round_robin.hpp"
+
+namespace easched::experiments {
+
+std::vector<datacenter::HostSpec> evaluation_hosts(std::size_t fast,
+                                                   std::size_t medium,
+                                                   std::size_t slow) {
+  std::vector<datacenter::HostSpec> hosts;
+  hosts.reserve(fast + medium + slow);
+  for (std::size_t i = 0; i < fast; ++i)
+    hosts.push_back(datacenter::HostSpec::fast());
+  for (std::size_t i = 0; i < medium; ++i)
+    hosts.push_back(datacenter::HostSpec::medium());
+  for (std::size_t i = 0; i < slow; ++i)
+    hosts.push_back(datacenter::HostSpec::slow());
+  return hosts;
+}
+
+datacenter::DatacenterConfig evaluation_datacenter(std::uint64_t seed) {
+  datacenter::DatacenterConfig config;
+  config.hosts = evaluation_hosts();
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<sched::Policy> make_policy(const std::string& name) {
+  if (name == "RD") return std::make_unique<policies::RandomPolicy>();
+  if (name == "RR") return std::make_unique<policies::RoundRobinPolicy>();
+  if (name == "BF") return std::make_unique<policies::BackfillingPolicy>();
+  if (name == "DBF")
+    return std::make_unique<policies::DynamicBackfillingPolicy>();
+  if (name == "SB0")
+    return std::make_unique<core::ScoreBasedPolicy>(
+        core::ScoreBasedConfig::sb0());
+  if (name == "SB1")
+    return std::make_unique<core::ScoreBasedPolicy>(
+        core::ScoreBasedConfig::sb1());
+  if (name == "SB2")
+    return std::make_unique<core::ScoreBasedPolicy>(
+        core::ScoreBasedConfig::sb2());
+  if (name == "SB")
+    return std::make_unique<core::ScoreBasedPolicy>(
+        core::ScoreBasedConfig::sb());
+  if (name == "SB-full")
+    return std::make_unique<core::ScoreBasedPolicy>(
+        core::ScoreBasedConfig::sb_full());
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace easched::experiments

@@ -1,0 +1,27 @@
+// Shared configuration of the paper's evaluation environment (section V):
+// the 100-node heterogeneous datacenter and helpers for building policies
+// by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datacenter/datacenter.hpp"
+#include "sched/policy.hpp"
+
+namespace easched::experiments {
+
+/// The evaluation datacenter: 15 fast, 50 medium and 35 slow nodes (their
+/// Cc/Cm overheads per section V), all 4-way Table-I machines.
+std::vector<datacenter::HostSpec> evaluation_hosts(
+    std::size_t fast = 15, std::size_t medium = 50, std::size_t slow = 35);
+
+/// Default DatacenterConfig over evaluation_hosts().
+datacenter::DatacenterConfig evaluation_datacenter(std::uint64_t seed = 1);
+
+/// Policy factory: "RD", "RR", "BF", "DBF", "SB0", "SB1", "SB2", "SB",
+/// "SB-full". Throws std::invalid_argument for unknown names.
+std::unique_ptr<sched::Policy> make_policy(const std::string& name);
+
+}  // namespace easched::experiments

@@ -1,0 +1,30 @@
+#include "geo/energy_profile.hpp"
+
+#include <cmath>
+
+namespace easched::geo {
+
+namespace {
+
+/// Sine with its maximum at `peak_hour` site-local time.
+double diurnal(sim::SimTime t, double timezone_offset_h, double peak_hour,
+               double amplitude) {
+  const double local_h =
+      std::fmod(t / sim::kHour + timezone_offset_h + 240.0, 24.0);
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  return 1.0 + amplitude * std::cos(kTwoPi * (local_h - peak_hour) / 24.0);
+}
+
+}  // namespace
+
+double EnergyProfile::price_eur_kwh(sim::SimTime t) const {
+  return base_price_eur_kwh *
+         diurnal(t, timezone_offset_h, price_peak_hour, price_amplitude);
+}
+
+double EnergyProfile::carbon_g_kwh(sim::SimTime t) const {
+  return base_carbon_g_kwh *
+         diurnal(t, timezone_offset_h, carbon_peak_hour, carbon_amplitude);
+}
+
+}  // namespace easched::geo

@@ -1,0 +1,31 @@
+// Time-varying energy tariff and carbon intensity of one datacenter site.
+//
+// Supports the multi-datacenter extension (the paper cites Le et al. [20]:
+// distribute workload across locations "according to its power consumption
+// and its source", and notes "our framework can be applied to this model").
+// Price and carbon follow diurnal sine profiles offset by the site's
+// timezone: cheap/green at night and when local renewables peak.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace easched::geo {
+
+struct EnergyProfile {
+  double base_price_eur_kwh = 0.12;
+  double price_amplitude = 0.3;     ///< relative swing (0.3 = +-30 %)
+  double price_peak_hour = 19.0;    ///< local hour of the price maximum
+
+  double base_carbon_g_kwh = 300;   ///< gCO2 per kWh
+  double carbon_amplitude = 0.4;
+  double carbon_peak_hour = 20.0;   ///< fossil peak in the local evening
+
+  double timezone_offset_h = 0.0;   ///< site-local = UTC + offset
+
+  /// Tariff [EUR/kWh] at absolute simulation time t (t=0 is UTC midnight).
+  [[nodiscard]] double price_eur_kwh(sim::SimTime t) const;
+  /// Carbon intensity [gCO2/kWh] at absolute simulation time t.
+  [[nodiscard]] double carbon_g_kwh(sim::SimTime t) const;
+};
+
+}  // namespace easched::geo

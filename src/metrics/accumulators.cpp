@@ -1,0 +1,75 @@
+#include "metrics/accumulators.hpp"
+
+#include "support/contracts.hpp"
+
+namespace easched::metrics {
+
+void TimeWeighted::set(sim::SimTime t, double value) {
+  if (!started_) {
+    started_ = true;
+    first_ = t;
+    last_ = t;
+    value_ = value;
+    return;
+  }
+  EA_EXPECTS(t >= last_);
+  sum_ += value_ * (t - last_);
+  last_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::integral(sim::SimTime t) const {
+  if (!started_) return 0;
+  EA_EXPECTS(t >= last_);
+  return sum_ + value_ * (t - last_);
+}
+
+double TimeWeighted::average(sim::SimTime t) const {
+  if (!started_ || t <= first_) return 0;
+  return integral(t) / (t - first_);
+}
+
+PerHostMeter::PerHostMeter(std::size_t num_hosts) : hosts_(num_hosts) {}
+
+void PerHostMeter::set(sim::SimTime t, std::size_t h, double value) {
+  EA_EXPECTS(h < hosts_.size());
+  const double delta = value - hosts_[h].current();
+  hosts_[h].set(t, value);
+  total_.set(t, total_.current() + delta);
+}
+
+double PerHostMeter::host_integral(std::size_t h, sim::SimTime t) const {
+  EA_EXPECTS(h < hosts_.size());
+  return hosts_[h].integral(t);
+}
+
+double PerHostMeter::total_integral(sim::SimTime t) const {
+  return total_.integral(t);
+}
+
+double PerHostMeter::host_current(std::size_t h) const {
+  EA_EXPECTS(h < hosts_.size());
+  return hosts_[h].current();
+}
+
+double PerHostMeter::total_current() const noexcept {
+  return total_.current();
+}
+
+void JobLog::add(JobRecord rec) { records_.push_back(rec); }
+
+double JobLog::mean_satisfaction() const {
+  if (records_.empty()) return 0;
+  double s = 0;
+  for (const auto& r : records_) s += r.satisfaction;
+  return s / static_cast<double>(records_.size());
+}
+
+double JobLog::mean_delay_pct() const {
+  if (records_.empty()) return 0;
+  double s = 0;
+  for (const auto& r : records_) s += r.delay_pct;
+  return s / static_cast<double>(records_.size());
+}
+
+}  // namespace easched::metrics

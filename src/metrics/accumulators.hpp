@@ -1,0 +1,134 @@
+// Time-weighted measurement of the simulated datacenter.
+//
+// Power, CPU usage and node counts are piecewise-constant signals that
+// change only at events; each accumulator integrates its signal exactly by
+// accumulating value * dt on every change, which is how the paper's
+// simulator "measures power consumption" (section IV). No sampling error is
+// introduced for the aggregate numbers in Tables II-V; the optional series
+// sampler exists for Figure-1-style plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace easched::metrics {
+
+/// Exact integral of a piecewise-constant signal.
+class TimeWeighted {
+ public:
+  /// Sets the signal value from time `t` onward. `t` must be >= the time of
+  /// the previous call.
+  void set(sim::SimTime t, double value);
+
+  /// Integral of the signal over [t0, t]. Requires t >= time of last set().
+  [[nodiscard]] double integral(sim::SimTime t) const;
+
+  /// Time-average over [start, t] where `start` is the time of the first
+  /// set() call (0 if none). Returns 0 for an empty interval.
+  [[nodiscard]] double average(sim::SimTime t) const;
+
+  [[nodiscard]] double current() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+  double sum_ = 0;  // integral up to last_
+  sim::SimTime first_ = 0;
+  sim::SimTime last_ = 0;
+  bool started_ = false;
+};
+
+/// Per-host piecewise-constant signal with an exact aggregate integral.
+/// Used twice: watts -> energy, and allocated CPU% -> core-hours.
+class PerHostMeter {
+ public:
+  explicit PerHostMeter(std::size_t num_hosts);
+
+  /// Sets host `h`'s signal value from time `t` onward.
+  void set(sim::SimTime t, std::size_t h, double value);
+
+  /// Integral of host h's signal up to time t.
+  [[nodiscard]] double host_integral(std::size_t h, sim::SimTime t) const;
+
+  /// Integral of the summed signal up to time t.
+  [[nodiscard]] double total_integral(sim::SimTime t) const;
+
+  [[nodiscard]] double host_current(std::size_t h) const;
+  [[nodiscard]] double total_current() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return hosts_.size(); }
+
+ private:
+  std::vector<TimeWeighted> hosts_;
+  TimeWeighted total_;
+};
+
+/// Outcome of one completed job, with the paper's QoS metrics attached.
+struct JobRecord {
+  std::uint32_t vm = 0;
+  sim::SimTime submit = 0;
+  sim::SimTime finish = 0;
+  double dedicated_seconds = 0;  ///< runtime on a dedicated machine
+  double deadline_seconds = 0;   ///< agreed deadline (relative to submit)
+  double satisfaction = 0;       ///< S in [0, 100]
+  double delay_pct = 0;          ///< 100*(Texec - Tded)/Tded, clamped >= 0
+  double cpu_pct = 0;            ///< requested CPU (for billing)
+};
+
+/// Collects per-job records and aggregates the S / delay columns.
+class JobLog {
+ public:
+  void add(JobRecord rec);
+  [[nodiscard]] std::size_t count() const noexcept { return records_.size(); }
+  [[nodiscard]] double mean_satisfaction() const;
+  [[nodiscard]] double mean_delay_pct() const;
+  [[nodiscard]] const std::vector<JobRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+/// Operation counters reported alongside the table metrics.
+struct Counters {
+  std::uint64_t creations = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t turn_ons = 0;
+  std::uint64_t turn_offs = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t sla_alarms = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_recoveries = 0;
+};
+
+/// One bundle with every accumulator a run needs; the Datacenter feeds the
+/// meters, the SchedulerDriver feeds the job log and counters.
+struct Recorder {
+  explicit Recorder(std::size_t num_hosts)
+      : watts(num_hosts), cpu_pct(num_hosts) {}
+
+  PerHostMeter watts;     ///< electrical power per host [W]
+  PerHostMeter cpu_pct;   ///< allocated CPU per host [% of one core]
+  TimeWeighted working;   ///< #hosts hosting at least one VM or operation
+  TimeWeighted online;    ///< #hosts powered on (incl. booting)
+  JobLog jobs;
+  Counters counts;
+
+  /// Highest guest-demand/capacity ratio any host ever reached (1.0 =
+  /// never oversubscribed; dom0 management overhead not counted).
+  /// Consolidating policies must keep this at 1; the Random/Round-Robin
+  /// baselines push it above.
+  double max_oversubscription = 1.0;
+
+  /// Total energy in kWh up to time t.
+  [[nodiscard]] double energy_kwh(sim::SimTime t) const {
+    return watts.total_integral(t) / sim::kHour / 1000.0;
+  }
+  /// Total allocated CPU in core-hours up to time t.
+  [[nodiscard]] double cpu_core_hours(sim::SimTime t) const {
+    return cpu_pct.total_integral(t) / 100.0 / sim::kHour;
+  }
+};
+
+}  // namespace easched::metrics

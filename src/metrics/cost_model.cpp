@@ -1,0 +1,28 @@
+#include "metrics/cost_model.hpp"
+
+#include "support/contracts.hpp"
+
+namespace easched::metrics {
+
+CostReport price_run(const Recorder& recorder, double end_s,
+                     const CostModelConfig& config) {
+  EA_EXPECTS(config.energy_price_eur_kwh >= 0);
+  EA_EXPECTS(config.revenue_eur_core_hour >= 0);
+  CostReport out;
+  for (const auto& job : recorder.jobs.records()) {
+    // Revenue is for the *dedicated* work delivered (the client pays for
+    // the job, not for its slowdown), discounted pro rata by satisfaction.
+    const double core_hours =
+        job.cpu_pct / 100.0 * job.dedicated_seconds / sim::kHour;
+    out.revenue_eur += config.revenue_eur_core_hour * core_hours *
+                       (job.satisfaction / 100.0);
+    if (job.satisfaction < config.breach_threshold_pct) {
+      out.breach_penalties_eur += config.breach_penalty_eur;
+      ++out.breached_jobs;
+    }
+  }
+  out.energy_cost_eur = recorder.energy_kwh(end_s) * config.energy_price_eur_kwh;
+  return out;
+}
+
+}  // namespace easched::metrics

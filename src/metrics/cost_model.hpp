@@ -1,0 +1,39 @@
+// Economic view of a run (the paper's "global revenue" / "economical
+// decision making" thread, deferred there to future work).
+//
+// A provider earns revenue per delivered core-hour, discounted by the SLA:
+// a job's payment scales with its client satisfaction S (a job at S = 50 %
+// pays half; the deadline contract of section V maps S directly to the
+// refund schedule). Energy is bought at a (possibly time-varying, see
+// geo/energy_price.hpp) tariff. Profit = revenue - energy cost.
+#pragma once
+
+#include "metrics/accumulators.hpp"
+
+namespace easched::metrics {
+
+struct CostModelConfig {
+  double energy_price_eur_kwh = 0.12;
+  double revenue_eur_core_hour = 0.08;  ///< full-satisfaction rate
+  /// Fixed penalty per job that ends below this satisfaction (a contract
+  /// breach beyond the pro-rata discount), in EUR.
+  double breach_threshold_pct = 50.0;
+  double breach_penalty_eur = 1.0;
+};
+
+struct CostReport {
+  double revenue_eur = 0;
+  double energy_cost_eur = 0;
+  double breach_penalties_eur = 0;
+  std::size_t breached_jobs = 0;
+  [[nodiscard]] double profit_eur() const {
+    return revenue_eur - energy_cost_eur - breach_penalties_eur;
+  }
+};
+
+/// Prices a finished run: per-job revenue from the job log, energy from the
+/// meters at measurement end `end_s`.
+CostReport price_run(const Recorder& recorder, double end_s,
+                     const CostModelConfig& config = {});
+
+}  // namespace easched::metrics

@@ -1,0 +1,41 @@
+#include "metrics/report.hpp"
+
+#include <cstdio>
+
+namespace easched::metrics {
+
+RunReport make_report(const Recorder& recorder, double end_s,
+                      std::string policy_name, double lambda_min,
+                      double lambda_max) {
+  RunReport r;
+  r.policy = std::move(policy_name);
+  r.lambda_min = lambda_min;
+  r.lambda_max = lambda_max;
+  r.duration_s = end_s;
+  r.avg_working = recorder.working.average(end_s);
+  r.avg_online = recorder.online.average(end_s);
+  r.cpu_hours = recorder.cpu_core_hours(end_s);
+  r.energy_kwh = recorder.energy_kwh(end_s);
+  r.satisfaction = recorder.jobs.mean_satisfaction();
+  r.delay_pct = recorder.jobs.mean_delay_pct();
+  r.migrations = recorder.counts.migrations;
+  r.creations = recorder.counts.creations;
+  r.turn_ons = recorder.counts.turn_ons;
+  r.turn_offs = recorder.counts.turn_offs;
+  r.failures = recorder.counts.failures;
+  r.jobs_finished = recorder.jobs.count();
+  return r;
+}
+
+std::string RunReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%-8s l=%.0f-%.0f  Work/ON %.1f/%.1f  CPU %.1f h  "
+                "Pwr %.1f kWh  S %.1f%%  delay %.1f%%  Mig %llu",
+                policy.c_str(), lambda_min * 100, lambda_max * 100,
+                avg_working, avg_online, cpu_hours, energy_kwh, satisfaction,
+                delay_pct, static_cast<unsigned long long>(migrations));
+  return buf;
+}
+
+}  // namespace easched::metrics

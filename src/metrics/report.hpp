@@ -1,0 +1,40 @@
+// Aggregation of a finished run into the columns the paper's Tables II-V
+// report: average Working / ON nodes, CPU hours, power (kWh), client
+// satisfaction S (%), delay (%), and number of migrations.
+#pragma once
+
+#include <string>
+
+#include "metrics/accumulators.hpp"
+
+namespace easched::metrics {
+
+struct RunReport {
+  std::string policy;
+  double lambda_min = 0;
+  double lambda_max = 0;
+  double duration_s = 0;       ///< measurement window (submit of first job
+                               ///< to finish of last job)
+  double avg_working = 0;      ///< "Work" column
+  double avg_online = 0;       ///< "ON" column
+  double cpu_hours = 0;        ///< "CPU (h)" column
+  double energy_kwh = 0;       ///< "Pwr (kW)" column
+  double satisfaction = 0;     ///< "S (%)" column
+  double delay_pct = 0;        ///< "delay (%)" column
+  std::uint64_t migrations = 0;
+  std::uint64_t creations = 0;
+  std::uint64_t turn_ons = 0;
+  std::uint64_t turn_offs = 0;
+  std::uint64_t failures = 0;
+  std::size_t jobs_finished = 0;
+
+  /// One line in the style of the paper's tables.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the report from a recorder at measurement end time `end_s`.
+RunReport make_report(const Recorder& recorder, double end_s,
+                      std::string policy_name, double lambda_min,
+                      double lambda_max);
+
+}  // namespace easched::metrics

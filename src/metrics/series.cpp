@@ -1,0 +1,51 @@
+#include "metrics/series.hpp"
+
+#include "support/contracts.hpp"
+#include "support/csv.hpp"
+
+namespace easched::metrics {
+
+SeriesRecorder::SeriesRecorder(sim::Simulator& simulator,
+                               sim::SimTime period_s)
+    : sim_(simulator) {
+  EA_EXPECTS(period_s > 0);
+  handle_ = sim_.every(period_s, [this] { sample(); });
+}
+
+SeriesRecorder::~SeriesRecorder() { sim_.cancel_periodic(handle_); }
+
+void SeriesRecorder::add_channel(std::string name,
+                                 std::function<double()> read) {
+  EA_EXPECTS(read != nullptr);
+  EA_EXPECTS(times_.empty());  // register channels before sampling starts
+  channels_.push_back({std::move(name), std::move(read), {}});
+}
+
+void SeriesRecorder::sample() {
+  times_.push_back(sim_.now());
+  for (auto& ch : channels_) ch.values.push_back(ch.read());
+}
+
+const std::vector<double>& SeriesRecorder::channel(std::size_t i) const {
+  EA_EXPECTS(i < channels_.size());
+  return channels_[i].values;
+}
+
+const std::string& SeriesRecorder::channel_name(std::size_t i) const {
+  EA_EXPECTS(i < channels_.size());
+  return channels_[i].name;
+}
+
+void SeriesRecorder::write_csv(std::ostream& out) const {
+  support::CsvWriter csv(out);
+  std::vector<std::string> header{"t_s"};
+  for (const auto& ch : channels_) header.push_back(ch.name);
+  csv.row(header);
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    std::vector<double> row{times_[i]};
+    for (const auto& ch : channels_) row.push_back(ch.values[i]);
+    csv.numeric_row(row);
+  }
+}
+
+}  // namespace easched::metrics

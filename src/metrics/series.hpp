@@ -1,0 +1,58 @@
+// Time-series sampling of a running simulation, for figures and debugging.
+//
+// The aggregate accumulators integrate exactly; this recorder additionally
+// snapshots selected signals at a fixed cadence (like the paper's Figure 1
+// power trace) so a run can be plotted. Samples are held in memory and
+// dumped as CSV.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace easched::metrics {
+
+/// Samples named channels every `period_s` for as long as the simulation
+/// produces events. Channels are arbitrary read-out callbacks, evaluated at
+/// sample time (e.g. [&]{ return recorder.watts.total_current(); }).
+class SeriesRecorder {
+ public:
+  SeriesRecorder(sim::Simulator& simulator, sim::SimTime period_s);
+  ~SeriesRecorder();
+
+  SeriesRecorder(const SeriesRecorder&) = delete;
+  SeriesRecorder& operator=(const SeriesRecorder&) = delete;
+
+  /// Registers a channel; call before the simulation runs.
+  void add_channel(std::string name, std::function<double()> read);
+
+  [[nodiscard]] std::size_t num_samples() const { return times_.size(); }
+  [[nodiscard]] const std::vector<sim::SimTime>& times() const {
+    return times_;
+  }
+  /// Values of channel `i`, same length as times().
+  [[nodiscard]] const std::vector<double>& channel(std::size_t i) const;
+  [[nodiscard]] const std::string& channel_name(std::size_t i) const;
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  /// Writes "t,<name1>,<name2>,..." rows as CSV.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  sim::Simulator::PeriodicHandle handle_{};
+  struct Channel {
+    std::string name;
+    std::function<double()> read;
+    std::vector<double> values;
+  };
+  std::vector<Channel> channels_;
+  std::vector<sim::SimTime> times_;
+};
+
+}  // namespace easched::metrics

@@ -1,0 +1,21 @@
+// Backfilling (BF) baseline of Table II: "tries to fill as much as possible
+// the nodes".
+//
+// For each queued VM (FIFO), pick the powered-on host that ends up most
+// occupied after the placement while still fitting (best-fit/tightest-fill
+// consolidation — the grid-scheduling community's backfilling adapted to a
+// space-shared virtualized cluster). Never oversubscribes CPU; a VM that
+// fits nowhere waits. No migration.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace easched::policies {
+
+class BackfillingPolicy : public sched::Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "BF"; }
+  std::vector<sched::Action> schedule(const sched::SchedContext& ctx) override;
+};
+
+}  // namespace easched::policies

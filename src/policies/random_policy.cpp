@@ -1,0 +1,23 @@
+#include "policies/random_policy.hpp"
+
+#include "policies/placement_common.hpp"
+
+namespace easched::policies {
+
+std::vector<sched::Action> RandomPolicy::schedule(
+    const sched::SchedContext& ctx) {
+  std::vector<sched::Action> actions;
+  for (datacenter::VmId v : ctx.queue) {
+    std::vector<datacenter::HostId> candidates;
+    for (datacenter::HostId h : on_hosts(ctx.dc)) {
+      if (ctx.dc.fits_memory(h, v)) candidates.push_back(h);
+    }
+    if (candidates.empty()) continue;  // stays queued
+    const auto pick = static_cast<std::size_t>(
+        ctx.rng.uniform_int(0, candidates.size() - 1));
+    actions.push_back(sched::Action::place(v, candidates[pick]));
+  }
+  return actions;
+}
+
+}  // namespace easched::policies

@@ -1,0 +1,19 @@
+// Random (RD) baseline of Table II: "assigns the tasks randomly".
+//
+// Picks a uniformly random powered-on host whose hardware/software and
+// *memory* can take the VM — it does not look at CPU occupation at all, so
+// it freely oversubscribes CPU and suffers the contention the paper
+// reports (S = 33 %, worst of all policies). No migration.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace easched::policies {
+
+class RandomPolicy final : public sched::Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RD"; }
+  std::vector<sched::Action> schedule(const sched::SchedContext& ctx) override;
+};
+
+}  // namespace easched::policies

@@ -1,0 +1,24 @@
+// Round Robin (RR) baseline of Table II: "assigns a task to each available
+// node, which implies a maximization of the amount of resources to a task
+// but also a sparse usage of the resources".
+//
+// A cursor walks the powered-on hosts; each queued VM goes to the next host
+// that satisfies hw/sw and memory. Like RD it ignores CPU occupation (the
+// point of RR is spreading, not packing), so bursts still pile VMs onto the
+// same node once the ring wraps. No migration.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace easched::policies {
+
+class RoundRobinPolicy final : public sched::Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RR"; }
+  std::vector<sched::Action> schedule(const sched::SchedContext& ctx) override;
+
+ private:
+  datacenter::HostId cursor_ = 0;
+};
+
+}  // namespace easched::policies

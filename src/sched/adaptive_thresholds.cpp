@@ -1,0 +1,38 @@
+#include "sched/adaptive_thresholds.hpp"
+
+#include <algorithm>
+
+namespace easched::sched {
+
+void AdaptiveThresholds::clamp() {
+  current_.lambda_min = std::clamp(current_.lambda_min,
+                                   config_.lambda_min_floor,
+                                   config_.lambda_min_ceil);
+  current_.lambda_max = std::clamp(current_.lambda_max,
+                                   config_.lambda_max_floor,
+                                   config_.lambda_max_ceil);
+  if (current_.lambda_max - current_.lambda_min < config_.gap) {
+    current_.lambda_min =
+        std::max(config_.lambda_min_floor, current_.lambda_max - config_.gap);
+  }
+}
+
+PowerControllerConfig AdaptiveThresholds::adjust(
+    double window_satisfaction, std::size_t finished_in_window) {
+  if (finished_in_window == 0) return current_;
+  if (window_satisfaction < config_.target_satisfaction) {
+    // SLA pressure: give the fleet headroom on both sides.
+    current_.lambda_min -= config_.step;
+    current_.lambda_max -= config_.step;
+  } else {
+    // Fully satisfied: probe for savings by shedding idle nodes sooner.
+    current_.lambda_min += config_.step;
+    if (window_satisfaction >= 100.0 - 1e-9) {
+      current_.lambda_max += config_.step / 2;
+    }
+  }
+  clamp();
+  return current_;
+}
+
+}  // namespace easched::sched

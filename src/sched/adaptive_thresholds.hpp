@@ -1,0 +1,58 @@
+// Dynamic turn-on/off thresholds (section V-A: "A next step would be to
+// dynamically adjust these thresholds, which is part of our future work").
+//
+// A simple feedback controller over the (lambda_min, lambda_max) pair:
+// every adjustment window it looks at the jobs finished in the window and
+//   * backs off (lowers both thresholds -> more headroom) when the window's
+//     mean satisfaction falls below `target_satisfaction`;
+//   * tightens (raises lambda_min -> shed idle nodes sooner) when the
+//     window was fully satisfied — probing for energy savings the static
+//     setting leaves on the table.
+// The thresholds move in `step` increments and stay inside [floor, ceil]
+// bands, and lambda_min always keeps `gap` below lambda_max.
+#pragma once
+
+#include "metrics/accumulators.hpp"
+#include "sched/power_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace easched::sched {
+
+struct AdaptiveThresholdConfig {
+  bool enabled = false;
+  double target_satisfaction = 98.0;  ///< back off below this S (%)
+  double step = 0.05;
+  double lambda_min_floor = 0.10, lambda_min_ceil = 0.60;
+  double lambda_max_floor = 0.50, lambda_max_ceil = 0.98;
+  double gap = 0.20;                  ///< enforced lambda_max - lambda_min
+  sim::SimTime window_s = 6 * sim::kHour;
+};
+
+/// Pure decision logic, separated from the driver for testability.
+class AdaptiveThresholds {
+ public:
+  AdaptiveThresholds(AdaptiveThresholdConfig config,
+                     PowerControllerConfig initial)
+      : config_(config), current_(initial) {}
+
+  /// Feeds one adjustment window: `window_satisfaction` is the mean S of
+  /// the jobs finished in the window (ignored when `finished_in_window` is
+  /// zero — an idle window carries no signal). Returns the new thresholds.
+  PowerControllerConfig adjust(double window_satisfaction,
+                               std::size_t finished_in_window);
+
+  [[nodiscard]] const PowerControllerConfig& current() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] const AdaptiveThresholdConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void clamp();
+
+  AdaptiveThresholdConfig config_;
+  PowerControllerConfig current_;
+};
+
+}  // namespace easched::sched

@@ -1,0 +1,281 @@
+#include "sched/driver.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/contracts.hpp"
+#include "workload/satisfaction.hpp"
+
+namespace easched::sched {
+
+using datacenter::HostId;
+using datacenter::VmId;
+using datacenter::VmState;
+
+// ---- Policy default power hooks -------------------------------------------
+
+HostId Policy::choose_power_on(const SchedContext& ctx,
+                               const std::vector<HostId>& off_hosts) {
+  EA_EXPECTS(!off_hosts.empty());
+  HostId best = off_hosts.front();
+  for (HostId h : off_hosts) {
+    const auto& a = ctx.dc.host(h).spec;
+    const auto& b = ctx.dc.host(best).spec;
+    const auto key = [](const datacenter::HostSpec& s) {
+      return std::tuple{s.boot_time_s, s.creation_cost_s, -s.reliability};
+    };
+    if (key(a) < key(b)) best = h;
+  }
+  return best;
+}
+
+HostId Policy::choose_power_off(const SchedContext& ctx,
+                                const std::vector<HostId>& idle_hosts) {
+  EA_EXPECTS(!idle_hosts.empty());
+  HostId best = idle_hosts.front();
+  for (HostId h : idle_hosts) {
+    const auto& a = ctx.dc.host(h).spec;
+    const auto& b = ctx.dc.host(best).spec;
+    // Shed the nodes with the worst virtualization overheads first.
+    const auto key = [](const datacenter::HostSpec& s) {
+      return std::tuple{-s.creation_cost_s, -s.migration_cost_s,
+                        s.reliability};
+    };
+    if (key(a) < key(b)) best = h;
+  }
+  return best;
+}
+
+// ---- SchedulerDriver -------------------------------------------------------
+
+SchedulerDriver::SchedulerDriver(sim::Simulator& simulator,
+                                 datacenter::Datacenter& dc, Policy& policy,
+                                 DriverConfig config)
+    : sim_(simulator),
+      dc_(dc),
+      policy_(policy),
+      config_(config),
+      power_(config.power),
+      adaptive_(config.adaptive, config.power),
+      rng_(config.seed) {
+  dc_.on_vm_finished = [this](VmId v) {
+    ++finished_;
+    round();
+    if (on_job_finished) on_job_finished(v);
+    if (all_done() && on_all_done) on_all_done();
+  };
+  dc_.on_vm_ready = [this](VmId) { round(); };
+  dc_.on_migration_done = [this](VmId) { round(); };
+  dc_.on_host_online = [this](HostId) { round(); };
+  dc_.on_host_off = [this](HostId) { /* no round needed */ };
+  dc_.on_host_repaired = [this](HostId) { round(); };
+  dc_.on_host_failed = [this](HostId, std::vector<VmId> lost) {
+    // Failed VMs return to the virtual host with priority (they already
+    // held resources); re-scheduling is a new round (section III-A).
+    queue_.insert(queue_.begin(), lost.begin(), lost.end());
+    round();
+  };
+
+  if (config_.controller_period_s > 0) {
+    sim_.every(config_.controller_period_s, [this] { round(); });
+  }
+  if (config_.sla_check_period_s > 0 &&
+      (config_.sla_alarms || config_.dynamic_sla_boost)) {
+    sim_.every(config_.sla_check_period_s, [this] { sla_scan(); });
+  }
+  if (config_.adaptive.enabled) {
+    sim_.every(config_.adaptive.window_s, [this] { adaptive_window(); });
+  }
+}
+
+void SchedulerDriver::adaptive_window() {
+  const auto& records = dc_.recorder().jobs.records();
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t i = jobs_seen_by_adaptive_; i < records.size(); ++i) {
+    sum += records[i].satisfaction;
+    ++count;
+  }
+  jobs_seen_by_adaptive_ = records.size();
+  const auto next =
+      adaptive_.adjust(count > 0 ? sum / static_cast<double>(count) : 0.0,
+                       count);
+  power_.set_thresholds(next.lambda_min, next.lambda_max);
+}
+
+void SchedulerDriver::submit_workload(const workload::Workload& jobs) {
+  for (const auto& job : jobs) {
+    sim_.at(job.submit, [this, job] { on_arrival(job); });
+  }
+  submitted_ += jobs.size();
+}
+
+void SchedulerDriver::on_arrival(const workload::Job& job) {
+  const VmId v = dc_.admit_job(job);
+  boosted_.resize(std::max<std::size_t>(boosted_.size(), v + 1), false);
+  queue_.push_back(v);
+  round();
+}
+
+VmId SchedulerDriver::submit_job_now(const workload::Job& job) {
+  workload::Job stamped = job;
+  stamped.submit = sim_.now();
+  ++submitted_;
+  const VmId v = dc_.admit_job(stamped);
+  boosted_.resize(std::max<std::size_t>(boosted_.size(), v + 1), false);
+  queue_.push_back(v);
+  round();
+  return v;
+}
+
+void SchedulerDriver::remove_from_queue(VmId v) {
+  const auto it = std::find(queue_.begin(), queue_.end(), v);
+  EA_ASSERT(it != queue_.end());
+  queue_.erase(it);
+}
+
+void SchedulerDriver::apply(const std::vector<Action>& actions) {
+  for (const Action& a : actions) {
+    const auto& vm = dc_.vm(a.vm);
+    switch (a.kind) {
+      case Action::Kind::kPlace:
+        // Validate defensively: the policy may have raced a state change
+        // (e.g. two actions for one VM).
+        if (vm.state != VmState::kQueued) break;
+        if (dc_.host(a.host).state != datacenter::HostState::kOn) break;
+        if (!dc_.fits_memory(a.host, a.vm)) break;
+        remove_from_queue(a.vm);
+        dc_.place(a.vm, a.host);
+        break;
+      case Action::Kind::kMigrate:
+        if (!policy_.uses_migration()) break;
+        if (vm.state != VmState::kRunning || vm.host == a.host) break;
+        if (dc_.host(a.host).state != datacenter::HostState::kOn) break;
+        if (!dc_.fits_memory(a.host, a.vm)) break;
+        dc_.migrate(a.vm, a.host);
+        break;
+    }
+  }
+}
+
+const char* to_string(QueueOrder order) noexcept {
+  switch (order) {
+    case QueueOrder::kFifo:
+      return "fifo";
+    case QueueOrder::kEdf:
+      return "edf";
+    case QueueOrder::kSjf:
+      return "sjf";
+  }
+  return "?";
+}
+
+void SchedulerDriver::round() {
+  if (in_round_) return;  // actions can re-trigger notifications
+  in_round_ = true;
+  switch (config_.queue_order) {
+    case QueueOrder::kFifo:
+      break;  // insertion order (failures re-enter at the front)
+    case QueueOrder::kEdf:
+      std::stable_sort(queue_.begin(), queue_.end(),
+                       [this](VmId a, VmId b) {
+                         const auto& ja = dc_.vm(a).job;
+                         const auto& jb = dc_.vm(b).job;
+                         return ja.submit + ja.deadline_seconds() <
+                                jb.submit + jb.deadline_seconds();
+                       });
+      break;
+    case QueueOrder::kSjf:
+      std::stable_sort(queue_.begin(), queue_.end(),
+                       [this](VmId a, VmId b) {
+                         return dc_.vm(a).job.dedicated_seconds <
+                                dc_.vm(b).job.dedicated_seconds;
+                       });
+      break;
+  }
+  SchedContext ctx{dc_, queue_, rng_};
+  apply(policy_.schedule(ctx));
+  progress_drains();
+  power_.update(ctx, dc_, policy_);
+  in_round_ = false;
+}
+
+void SchedulerDriver::drain_host(datacenter::HostId h) {
+  if (is_draining(h)) return;
+  dc_.set_maintenance(h, true);
+  draining_.push_back(h);
+  round();
+}
+
+void SchedulerDriver::cancel_drain(datacenter::HostId h) {
+  const auto it = std::find(draining_.begin(), draining_.end(), h);
+  if (it != draining_.end()) draining_.erase(it);
+  // Clear the flag even when the drain already completed (the host is Off
+  // with maintenance still set so the controller leaves it down).
+  dc_.set_maintenance(h, false);
+}
+
+bool SchedulerDriver::is_draining(datacenter::HostId h) const {
+  return std::find(draining_.begin(), draining_.end(), h) != draining_.end();
+}
+
+void SchedulerDriver::progress_drains() {
+  for (std::size_t i = 0; i < draining_.size();) {
+    const datacenter::HostId h = draining_[i];
+    const auto& host = dc_.host(h);
+    if (host.is_idle_on()) {
+      dc_.power_off(h);
+      draining_.erase(draining_.begin() + static_cast<long>(i));
+      continue;  // maintenance flag stays: no controller turn-on
+    }
+    // Evict what can be evicted now; creations/migrations in flight finish
+    // first and are retried on a later round.
+    const std::vector<VmId> residents = host.residents;  // copy: mutation
+    for (VmId v : residents) {
+      if (dc_.vm(v).state != VmState::kRunning) continue;
+      const datacenter::HostId target = policies_best_fit(v);
+      if (target != datacenter::kNoHost) dc_.migrate(v, target);
+    }
+    ++i;
+  }
+}
+
+datacenter::HostId SchedulerDriver::policies_best_fit(datacenter::VmId v) {
+  datacenter::HostId best = datacenter::kNoHost;
+  double best_occ = -1;
+  for (datacenter::HostId h = 0; h < dc_.num_hosts(); ++h) {
+    if (h == dc_.vm(v).host) continue;
+    if (!dc_.fits(h, v)) continue;
+    const double occ = dc_.occupation_if(h, v);
+    if (occ > best_occ) {
+      best_occ = occ;
+      best = h;
+    }
+  }
+  return best;
+}
+
+void SchedulerDriver::sla_scan() {
+  bool at_risk_found = false;
+  for (VmId v : dc_.active_vms()) {
+    const auto& vm = dc_.vm(v);
+    if (vm.state != VmState::kRunning) continue;
+    const double elapsed = sim_.now() - vm.job.submit;
+    const double rate = vm.progress_rate > 0 ? vm.progress_rate : 1.0;
+    const double projected_exec = elapsed + vm.remaining_work_s() / rate;
+    if (projected_exec <= vm.job.deadline_seconds()) continue;
+
+    at_risk_found = true;
+    ++dc_.recorder().counts.sla_alarms;
+    if (config_.dynamic_sla_boost && !boosted_[v]) {
+      // Give the VM the priority it needs to catch up (III-A.5): a higher
+      // credit weight pulls its share toward its nominal demand on
+      // contended hosts; the PSLA term reconsiders its placement.
+      dc_.boost_weight(v, 4.0 * config_.boost_factor);
+      boosted_[v] = true;
+    }
+  }
+  if (at_risk_found && config_.sla_alarms) round();
+}
+
+}  // namespace easched::sched

@@ -1,0 +1,67 @@
+// The scheduling-policy interface.
+//
+// A *scheduling round* (section III-A: started "when a new VM enters in the
+// system, finishes its execution, a violation in its SLA is detected, or
+// the reliability of a node changes") asks the policy for a set of actions:
+// place queued VMs onto hosts and, for migrating policies, move running VMs
+// between hosts. The SchedulerDriver validates and applies the actions via
+// the Datacenter actuators, then lets the PowerController adjust the set of
+// powered-on nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datacenter/datacenter.hpp"
+#include "datacenter/ids.hpp"
+#include "support/rng.hpp"
+
+namespace easched::sched {
+
+struct Action {
+  enum class Kind : std::uint8_t { kPlace, kMigrate };
+  Kind kind = Kind::kPlace;
+  datacenter::VmId vm = 0;
+  datacenter::HostId host = 0;
+
+  static Action place(datacenter::VmId v, datacenter::HostId h) {
+    return {Kind::kPlace, v, h};
+  }
+  static Action migrate(datacenter::VmId v, datacenter::HostId h) {
+    return {Kind::kMigrate, v, h};
+  }
+};
+
+/// Read-only view a policy sees during a round.
+struct SchedContext {
+  const datacenter::Datacenter& dc;
+  const std::vector<datacenter::VmId>& queue;  ///< FIFO of queued VMs
+  support::Rng& rng;  ///< policy randomness (seeded per run)
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether the driver should permit kMigrate actions from this policy.
+  [[nodiscard]] virtual bool uses_migration() const { return false; }
+
+  /// Computes this round's actions.
+  virtual std::vector<Action> schedule(const SchedContext& ctx) = 0;
+
+  /// Power-controller hooks (section III-C: nodes to turn on are "selected
+  /// according to ... reliability, boot time, etc."; nodes to turn off by
+  /// their aggregated score). Defaults: turn on the node that becomes
+  /// usable soonest and creates VMs fastest; turn off the node with the
+  /// highest virtualization overheads. Candidate lists are non-empty.
+  virtual datacenter::HostId choose_power_on(
+      const SchedContext& ctx,
+      const std::vector<datacenter::HostId>& off_hosts);
+  virtual datacenter::HostId choose_power_off(
+      const SchedContext& ctx,
+      const std::vector<datacenter::HostId>& idle_hosts);
+};
+
+}  // namespace easched::sched

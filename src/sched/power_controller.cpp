@@ -1,0 +1,100 @@
+#include "sched/power_controller.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace easched::sched {
+
+namespace {
+
+using datacenter::Datacenter;
+using datacenter::HostId;
+using datacenter::HostState;
+
+std::vector<HostId> hosts_off(const Datacenter& dc) {
+  std::vector<HostId> out;
+  for (HostId h = 0; h < dc.num_hosts(); ++h) {
+    const auto& host = dc.host(h);
+    if (host.state == HostState::kOff && !host.maintenance) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<HostId> hosts_idle_on(const Datacenter& dc) {
+  std::vector<HostId> out;
+  for (HostId h = 0; h < dc.num_hosts(); ++h) {
+    if (dc.host(h).is_idle_on() && !dc.host(h).maintenance) out.push_back(h);
+  }
+  return out;
+}
+
+/// True when some queued VM fits no currently online host (booting hosts
+/// count as "will fit soon", so only fully online hosts are checked but a
+/// booting host suppresses the forced turn-on to avoid over-provisioning).
+bool queue_starved(const SchedContext& ctx) {
+  if (ctx.queue.empty()) return false;
+  for (HostId h = 0; h < ctx.dc.num_hosts(); ++h) {
+    if (ctx.dc.host(h).state == HostState::kBooting) return false;
+  }
+  for (datacenter::VmId v : ctx.queue) {
+    bool placeable = false;
+    for (HostId h = 0; h < ctx.dc.num_hosts(); ++h) {
+      if (ctx.dc.fits(h, v)) {
+        placeable = true;
+        break;
+      }
+    }
+    if (!placeable) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void PowerController::update(const SchedContext& ctx, Datacenter& dc,
+                             Policy& policy) {
+  if (!config_.enabled) return;
+
+  // Turn-on side: ratio above lambda_max, nothing online at all while work
+  // exists, or a queued VM that fits nowhere.
+  auto off = hosts_off(dc);
+  int online = dc.online_count();
+  const int working = dc.working_count();
+  const bool demand = working > 0 || !ctx.queue.empty();
+
+  auto take_off_host = [&](HostId h) {
+    const auto it = std::find(off.begin(), off.end(), h);
+    EA_ASSERT(it != off.end());
+    off.erase(it);
+  };
+
+  while (!off.empty() && demand &&
+         (online < config_.minexec || online == 0 ||
+          static_cast<double>(working) / online > config_.lambda_max)) {
+    const HostId h = policy.choose_power_on(ctx, off);
+    dc.power_on(h);
+    take_off_host(h);
+    ++online;
+  }
+  if (!off.empty() && queue_starved(ctx)) {
+    const HostId h = policy.choose_power_on(ctx, off);
+    dc.power_on(h);
+    take_off_host(h);
+    ++online;
+  }
+
+  // Turn-off side: only idle nodes, never below minexec, and never while
+  // VMs wait in the queue (they are about to need the capacity).
+  if (!ctx.queue.empty()) return;
+  auto idle = hosts_idle_on(dc);
+  while (!idle.empty() && online > config_.minexec && online > 0 &&
+         static_cast<double>(working) / online < config_.lambda_min) {
+    const HostId h = policy.choose_power_off(ctx, idle);
+    dc.power_off(h);
+    idle.erase(std::find(idle.begin(), idle.end(), h));
+    --online;
+  }
+}
+
+}  // namespace easched::sched

@@ -1,0 +1,47 @@
+// Node power controller (section III-C).
+//
+// Drives the number of operative nodes from the ratio of working nodes
+// (hosting at least one VM) to online nodes (powered on):
+//   * ratio > lambda_max  -> start booting stopped nodes;
+//   * ratio < lambda_min  -> shut down idle nodes (down to `minexec`).
+// Node choice is delegated to the Policy hooks. In addition, a queued VM
+// that fits no online host forces a turn-on regardless of the ratio, so a
+// large job cannot starve behind a low ratio.
+#pragma once
+
+#include "datacenter/datacenter.hpp"
+#include "sched/policy.hpp"
+
+namespace easched::sched {
+
+struct PowerControllerConfig {
+  double lambda_min = 0.30;  ///< paper's experimentally best value
+  double lambda_max = 0.90;
+  int minexec = 1;           ///< minimum set of operative machines
+  bool enabled = true;
+};
+
+class PowerController {
+ public:
+  explicit PowerController(PowerControllerConfig config) : config_(config) {}
+
+  /// Applies the thresholds once; called by the driver after every
+  /// scheduling round and on its periodic tick.
+  void update(const SchedContext& ctx, datacenter::Datacenter& dc,
+              Policy& policy);
+
+  [[nodiscard]] const PowerControllerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Replaces the thresholds at runtime (dynamic-threshold extension).
+  void set_thresholds(double lambda_min, double lambda_max) {
+    config_.lambda_min = lambda_min;
+    config_.lambda_max = lambda_max;
+  }
+
+ private:
+  PowerControllerConfig config_;
+};
+
+}  // namespace easched::sched

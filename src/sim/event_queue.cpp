@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace easched::sim {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  EA_EXPECTS(fn != nullptr);
+  auto entry = std::make_unique<Entry>();
+  entry->time = t;
+  entry->seq = next_seq_++;
+  entry->id = next_id_++;
+  entry->fn = std::move(fn);
+  const EventId id = entry->id;
+  index_.emplace(id, entry.get());
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;  // already fired or cancelled
+  it->second->fn = nullptr;
+  index_.erase(it);
+  EA_ASSERT(live_ > 0);
+  --live_;
+}
+
+void EventQueue::prune_top() {
+  while (!heap_.empty() && heap_.front()->fn == nullptr) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  EA_EXPECTS(!empty());
+  // A cancel may have hit the current heap top since the last pop.
+  prune_top();
+  return heap_.front()->time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  EA_EXPECTS(!empty());
+  prune_top();
+  EA_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  auto entry = std::move(heap_.back());
+  heap_.pop_back();
+  index_.erase(entry->id);
+  EA_ASSERT(live_ > 0);
+  --live_;
+  Fired fired{entry->time, std::move(entry->fn)};
+  prune_top();
+  return fired;
+}
+
+}  // namespace easched::sim

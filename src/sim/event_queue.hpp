@@ -1,0 +1,79 @@
+// Pending-event set of the discrete-event kernel.
+//
+// A binary min-heap ordered by (time, sequence). The sequence number makes
+// the pop order of simultaneous events equal to their scheduling order,
+// which is what makes whole runs reproducible. Cancellation is lazy: a
+// cancelled entry stays in the heap with its action cleared and is discarded
+// when popped — O(1) cancel, which matters because the simulator cancels and
+// reschedules a VM-finish event on every CPU reallocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace easched::sim {
+
+/// Identifies a scheduled event for cancellation. Value 0 is reserved for
+/// "no event".
+using EventId = std::uint64_t;
+
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`.
+  EventId push(SimTime t, std::function<void()> fn);
+
+  /// Cancels a previously pushed event. Cancelling an already-fired or
+  /// already-cancelled event is a no-op; kNoEvent is ignored.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Requires !empty(). Non-const because
+  /// it prunes cancelled entries off the heap top.
+  [[nodiscard]] SimTime next_time();
+
+  /// Pops and returns the earliest live event's action together with its
+  /// timestamp. Requires !empty().
+  struct Fired {
+    SimTime time;
+    std::function<void()> action;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventId id = kNoEvent;
+    std::function<void()> fn;  // empty once cancelled
+  };
+  struct Later {
+    bool operator()(const std::unique_ptr<Entry>& a,
+                    const std::unique_ptr<Entry>& b) const noexcept {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void prune_top();
+
+  std::vector<std::unique_ptr<Entry>> heap_;  // std::push/pop_heap managed
+  std::unordered_map<EventId, Entry*> index_;  // live events only
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace easched::sim

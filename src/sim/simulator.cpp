@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace easched::sim {
+
+EventId Simulator::at(SimTime t, std::function<void()> fn) {
+  EA_EXPECTS(t >= now_);
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::after(SimTime dt, std::function<void()> fn) {
+  EA_EXPECTS(dt >= 0);
+  return queue_.push(now_ + dt, std::move(fn));
+}
+
+Simulator::PeriodicHandle Simulator::every(SimTime period,
+                                           std::function<void()> fn) {
+  EA_EXPECTS(period > 0);
+  const std::uint64_t key = next_periodic_key_++;
+  // The re-arming closure owns the task; it looks itself up in
+  // periodic_next_ so cancel_periodic() can drop the pending occurrence.
+  auto arm = std::make_shared<std::function<void()>>();
+  *arm = [this, key, period, fn = std::move(fn), arm]() mutable {
+    const auto it = periodic_next_.find(key);
+    if (it == periodic_next_.end()) return;  // cancelled since queued
+    it->second = queue_.push(now_ + period, *arm);
+    fn();
+  };
+  periodic_next_[key] = queue_.push(now_ + period, *arm);
+  return PeriodicHandle{key};
+}
+
+void Simulator::cancel_periodic(PeriodicHandle handle) {
+  const auto it = periodic_next_.find(handle.key);
+  if (it == periodic_next_.end()) return;
+  queue_.cancel(it->second);
+  periodic_next_.erase(it);
+}
+
+void Simulator::step() {
+  auto fired = queue_.pop();
+  EA_ASSERT(fired.time >= now_);
+  now_ = fired.time;
+  ++dispatched_;
+  fired.action();
+}
+
+void Simulator::run() {
+  stopping_ = false;
+  while (!stopping_ && !queue_.empty()) step();
+}
+
+void Simulator::run_until(SimTime horizon) {
+  EA_EXPECTS(horizon >= now_);
+  stopping_ = false;
+  while (!stopping_ && !queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+  }
+  // When stopped early the clock stays at the stop point; only a run that
+  // exhausted the horizon advances to it.
+  if (!stopping_ && now_ < horizon) now_ = horizon;
+}
+
+}  // namespace easched::sim

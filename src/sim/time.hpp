@@ -1,0 +1,18 @@
+// Simulation time: seconds since the start of the run, as a double.
+//
+// A week-long run spans 604800 s; doubles hold that with sub-microsecond
+// resolution, and the event queue breaks exact ties deterministically with a
+// sequence number, so floating-point time is safe here.
+#pragma once
+
+namespace easched::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 24.0 * kHour;
+inline constexpr SimTime kWeek = 7.0 * kDay;
+
+}  // namespace easched::sim

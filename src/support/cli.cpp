@@ -1,0 +1,80 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace easched::support {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(key);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "easched: bad numeric value for --%s: '%s'\n",
+                 key.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(key);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "easched: bad integer value for --%s: '%s'\n",
+                 key.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  std::fprintf(stderr, "easched: bad boolean value for --%s: '%s'\n",
+               key.c_str(), v.c_str());
+  std::exit(2);
+}
+
+}  // namespace easched::support

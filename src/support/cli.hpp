@@ -1,0 +1,37 @@
+// Tiny command-line option parser shared by the examples and bench
+// binaries: `--key value` and `--key=value` pairs plus `--flag` booleans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace easched::support {
+
+/// Parses argv into a key->value map. Unrecognised positional arguments are
+/// collected in `positional()`. Lookup helpers return the supplied default
+/// when the option is absent and abort with a message when a value fails to
+/// parse, so misspelled numeric options never silently run a wrong config.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace easched::support

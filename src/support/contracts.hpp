@@ -1,0 +1,43 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations abort with a message identifying the failed condition and its
+// source location. Contracts stay enabled in release builds: every check in
+// this library guards simulation-state invariants whose silent violation
+// would corrupt experiment results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace easched::support {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "easched: %s violated: %s at %s:%d\n", kind, cond,
+               file, line);
+  std::abort();
+}
+
+}  // namespace easched::support
+
+#define EA_EXPECTS(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::easched::support::contract_failure("precondition", #cond,         \
+                                           __FILE__, __LINE__);           \
+  } while (false)
+
+#define EA_ENSURES(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::easched::support::contract_failure("postcondition", #cond,        \
+                                           __FILE__, __LINE__);           \
+  } while (false)
+
+#define EA_ASSERT(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::easched::support::contract_failure("invariant", #cond,            \
+                                           __FILE__, __LINE__);           \
+  } while (false)

@@ -1,0 +1,43 @@
+#include "support/csv.hpp"
+
+#include <charconv>
+
+namespace easched::support {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::numeric_row(const std::vector<double>& values) {
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof buf, values[i],
+                      std::chars_format::general, 17);
+    *out_ << std::string_view(buf, static_cast<std::size_t>(ptr - buf));
+    (void)ec;
+  }
+  *out_ << '\n';
+}
+
+}  // namespace easched::support

@@ -1,0 +1,32 @@
+// Minimal CSV emission for experiment output (series for Figures 1-3,
+// per-run rows for Tables II-V). Quoting follows RFC 4180: fields containing
+// a comma, quote, or newline are quoted and embedded quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easched::support {
+
+/// Streams rows of a CSV document to an std::ostream. The writer does not
+/// own the stream; keep it alive for the writer's lifetime.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; each field is escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with full round-trip precision.
+  void numeric_row(const std::vector<double>& values);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace easched::support

@@ -1,0 +1,91 @@
+#include "support/distributions.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace easched::support {
+
+double normal01(Rng& rng) noexcept {
+  // Marsaglia polar method; rejection keeps the transform numerically tame.
+  for (;;) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double normal(Rng& rng, double mean, double stddev) noexcept {
+  EA_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal01(rng);
+}
+
+double truncated_normal(Rng& rng, double mean, double stddev,
+                        double lo) noexcept {
+  EA_EXPECTS(stddev >= 0.0);
+  if (stddev == 0.0) return mean < lo ? lo : mean;
+  // Resampling is fine here: every caller keeps `lo` several sigma below the
+  // mean (e.g. creation time N(40, 2.5) truncated at 1), so the acceptance
+  // probability is ~1.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = normal(rng, mean, stddev);
+    if (x >= lo) return x;
+  }
+  return lo;
+}
+
+double exponential(Rng& rng, double rate) noexcept {
+  EA_EXPECTS(rate > 0.0);
+  // 1 - uniform01() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - rng.uniform01()) / rate;
+}
+
+double lognormal(Rng& rng, double mu, double sigma) noexcept {
+  return std::exp(normal(rng, mu, sigma));
+}
+
+double pareto(Rng& rng, double xm, double alpha) noexcept {
+  EA_EXPECTS(xm > 0.0);
+  EA_EXPECTS(alpha > 0.0);
+  return xm / std::pow(1.0 - rng.uniform01(), 1.0 / alpha);
+}
+
+unsigned poisson(Rng& rng, double mean) noexcept {
+  EA_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    unsigned k = 0;
+    do {
+      ++k;
+      p *= rng.uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double x = normal(rng, mean, std::sqrt(mean));
+  return x < 0.5 ? 0U : static_cast<unsigned>(x + 0.5);
+}
+
+unsigned weighted_choice(Rng& rng, const double* weights, unsigned n) noexcept {
+  EA_EXPECTS(n > 0);
+  double total = 0.0;
+  for (unsigned i = 0; i < n; ++i) {
+    EA_EXPECTS(weights[i] >= 0.0);
+    total += weights[i];
+  }
+  EA_EXPECTS(total > 0.0);
+  double r = rng.uniform01() * total;
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace easched::support

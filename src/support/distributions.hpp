@@ -1,0 +1,43 @@
+// Reproducible statistical distributions used by the simulator.
+//
+// The paper models VM-creation duration with a normal distribution
+// (mu = 40 s, sigma = 2.5 observed on the real testbed, section IV) and the
+// workload synthesis needs exponential (Poisson arrivals), log-normal
+// (heavy-tailed job runtimes), and Pareto draws. Implemented here instead of
+// <random> distributions so results are identical on every platform.
+#pragma once
+
+#include "support/rng.hpp"
+
+namespace easched::support {
+
+/// Standard-normal draw via Box-Muller (polar rejection form).
+double normal01(Rng& rng) noexcept;
+
+/// Normal(mean, stddev). Requires stddev >= 0.
+double normal(Rng& rng, double mean, double stddev) noexcept;
+
+/// Normal(mean, stddev) truncated below at `lo` by resampling. Used for
+/// durations that must stay positive (e.g. VM creation time).
+double truncated_normal(Rng& rng, double mean, double stddev,
+                        double lo) noexcept;
+
+/// Exponential with the given rate (lambda > 0); mean = 1/rate.
+double exponential(Rng& rng, double rate) noexcept;
+
+/// Log-normal: exp(Normal(mu, sigma)) of the underlying normal.
+double lognormal(Rng& rng, double mu, double sigma) noexcept;
+
+/// Pareto with scale xm > 0 and shape alpha > 0.
+double pareto(Rng& rng, double xm, double alpha) noexcept;
+
+/// Poisson(mean) via inversion for small means, normal approximation for
+/// large ones. Returns a non-negative count.
+unsigned poisson(Rng& rng, double mean) noexcept;
+
+/// Weighted choice: returns an index in [0, n) with probability
+/// weights[i] / sum(weights). Requires n > 0 and non-negative weights with a
+/// positive sum.
+unsigned weighted_choice(Rng& rng, const double* weights, unsigned n) noexcept;
+
+}  // namespace easched::support

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (VM creation jitter, workload
+// synthesis, failure injection, the Random policy) draws from this generator
+// so that a (seed, configuration) pair fully determines a run. We implement
+// xoshiro256** seeded via SplitMix64 rather than using std::mt19937 because
+// the standard distributions are not bit-reproducible across library
+// implementations; every distribution used by the simulator is implemented
+// in distributions.hpp on top of this engine.
+#pragma once
+
+#include <cstdint>
+
+namespace easched::support {
+
+/// xoshiro256** engine (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64, which
+  /// guarantees a well-mixed non-zero state for any seed (including 0).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Derives an independent child generator; used to give each subsystem
+  /// (workload, failures, creation jitter, ...) its own stream so adding a
+  /// consumer does not perturb the draws seen by the others.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace easched::support

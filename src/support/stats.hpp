@@ -1,0 +1,24 @@
+// Small descriptive-statistics helpers for benches and tests (mean, sample
+// standard deviation, percentiles, min/max summaries).
+#pragma once
+
+#include <vector>
+
+namespace easched::support {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1); 0 for n < 2
+  double min = 0;
+  double max = 0;
+};
+
+/// Summarises a sample. Returns a zeroed Summary for empty input.
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolation percentile (p in [0, 100]). Requires non-empty
+/// input; the input vector is copied and sorted internally.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace easched::support

@@ -1,0 +1,73 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace easched::support {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void append_padded(std::string& out, const std::string& cell,
+                   std::size_t width) {
+  const bool right = looks_numeric(cell);
+  const std::size_t pad = width > cell.size() ? width - cell.size() : 0;
+  if (right) out.append(pad, ' ');
+  out += cell;
+  if (!right) out.append(pad, ' ');
+}
+
+}  // namespace
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      if (i != 0) out += "  ";
+      append_padded(out, i < r.size() ? r[i] : std::string{}, width[i]);
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < ncols; ++i) total += width[i] + (i ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+}  // namespace easched::support

@@ -1,0 +1,30 @@
+// Fixed-width plain-text tables, used by the bench binaries to print the
+// same rows the paper's Tables I-V report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace easched::support {
+
+/// Accumulates rows of string cells and renders them with columns padded to
+/// the widest cell. The first row added with `header()` is separated from
+/// the body by a rule.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table; every column is left-aligned except cells that parse
+  /// as numbers, which are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+  /// Formats a double with `decimals` fractional digits.
+  static std::string num(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace easched::support

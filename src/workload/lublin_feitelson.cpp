@@ -1,0 +1,103 @@
+#include "workload/lublin_feitelson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace easched::workload {
+
+namespace {
+
+/// Gamma(shape, scale) via Marsaglia-Tsang for shape >= 1 (all our shapes
+/// are), reproducible on top of the project Rng.
+double gamma_draw(support::Rng& rng, double shape, double scale) {
+  EA_EXPECTS(shape >= 1.0);
+  EA_EXPECTS(scale > 0.0);
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    const double x = support::normal01(rng);
+    const double v1 = 1.0 + c * x;
+    if (v1 <= 0.0) continue;
+    const double v = v1 * v1 * v1;
+    const double u = rng.uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+/// Relative arrival intensity over the day (mean ~1).
+double daily_cycle(const LublinFeitelsonConfig& c, double t) {
+  const double hour = std::fmod(t, sim::kDay) / sim::kHour;
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  // Trough at trough_hour, broad daytime plateau via a second harmonic.
+  const double main = -std::cos(kTwoPi * (hour - c.trough_hour) / 24.0);
+  const double second = 0.25 * std::cos(kTwoPi * (hour - c.trough_hour) / 12.0);
+  return std::max(1.0 + c.cycle_amplitude * (main + second), 0.0);
+}
+
+int draw_procs(support::Rng& rng, const LublinFeitelsonConfig& c) {
+  if (rng.uniform01() < c.p_serial || c.max_procs <= 1) return 1;
+  const int max_log2 =
+      std::max(1, static_cast<int>(std::log2(static_cast<double>(c.max_procs))));
+  if (rng.uniform01() < c.p_pow2) {
+    // Power of two, uniform over the exponents 1..log2(max).
+    const int exponent = 1 + static_cast<int>(rng.uniform_int(
+                                 0, static_cast<std::uint64_t>(max_log2 - 1)));
+    return std::min(1 << exponent, c.max_procs);
+  }
+  return 2 + static_cast<int>(rng.uniform_int(
+                 0, static_cast<std::uint64_t>(c.max_procs - 2)));
+}
+
+}  // namespace
+
+Workload generate_lublin_feitelson(const LublinFeitelsonConfig& c) {
+  EA_EXPECTS(c.span_seconds > 0);
+  EA_EXPECTS(c.mean_jobs_per_hour > 0);
+  EA_EXPECTS(c.max_procs >= 1);
+
+  support::Rng rng{c.seed};
+  Workload jobs;
+
+  const double rate_per_s = c.mean_jobs_per_hour / sim::kHour;
+  const double max_intensity = 1.0 + 1.25 * c.cycle_amplitude;
+
+  double t = 0;
+  while (true) {
+    // Thinned non-homogeneous Poisson arrivals.
+    t += support::exponential(rng, rate_per_s * max_intensity);
+    if (t >= c.span_seconds) break;
+    if (rng.uniform01() > daily_cycle(c, t) / max_intensity) continue;
+
+    Job job;
+    job.id = static_cast<std::uint32_t>(jobs.size());
+    job.submit = t;
+
+    const int procs = draw_procs(rng, c);
+    job.cpu_pct = 100.0 * procs;
+    job.mem_mb = c.mem_per_proc_mb * procs;
+
+    const double p_long =
+        c.p_long_base +
+        c.p_long_slope * static_cast<double>(procs) / c.max_procs;
+    const double runtime =
+        rng.uniform01() < p_long
+            ? gamma_draw(rng, c.shape_long, c.scale_long)
+            : gamma_draw(rng, c.shape_short, c.scale_short);
+    job.dedicated_seconds =
+        std::clamp(runtime, c.min_runtime_s, c.max_runtime_s);
+
+    job.deadline_factor =
+        rng.uniform(c.deadline_factor_lo, c.deadline_factor_hi);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace easched::workload

@@ -1,0 +1,25 @@
+#include "workload/satisfaction.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace easched::workload {
+
+double satisfaction(double exec_seconds, double deadline_seconds) {
+  EA_EXPECTS(deadline_seconds > 0);
+  EA_EXPECTS(exec_seconds >= 0);
+  if (exec_seconds < deadline_seconds) return 100.0;
+  const double overrun = (exec_seconds - deadline_seconds) / deadline_seconds;
+  return 100.0 * std::max(1.0 - overrun, 0.0);
+}
+
+double delay_pct(double exec_seconds, double dedicated_seconds) {
+  EA_EXPECTS(dedicated_seconds > 0);
+  EA_EXPECTS(exec_seconds >= 0);
+  return std::max(0.0,
+                  100.0 * (exec_seconds - dedicated_seconds) /
+                      dedicated_seconds);
+}
+
+}  // namespace easched::workload

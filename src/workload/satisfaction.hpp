@@ -1,0 +1,17 @@
+// The paper's QoS metric (section V): client satisfaction S as a function of
+// execution time against the agreed deadline, and the execution-delay
+// metric reported next to it in Tables II-V.
+#pragma once
+
+namespace easched::workload {
+
+/// S = 100 if Texec < Tdead; otherwise 100 * max(1 - (Texec-Tdead)/Tdead, 0).
+/// Reaches 0 when the job takes twice its deadline. Requires
+/// deadline_seconds > 0.
+double satisfaction(double exec_seconds, double deadline_seconds);
+
+/// Execution delay in percent relative to the dedicated-machine runtime:
+/// 100 * (Texec - Tded)/Tded, clamped at 0. Requires dedicated_seconds > 0.
+double delay_pct(double exec_seconds, double dedicated_seconds);
+
+}  // namespace easched::workload

@@ -1,0 +1,86 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace easched::workload {
+
+Workload read_swf(std::istream& in, const SwfOptions& options) {
+  Workload jobs;
+  support::Rng rng{options.deadline_seed};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == ';') continue;  // comment / header
+
+    std::istringstream fields(line);
+    // SWF fields, 1-based as in the spec.
+    double f[19];
+    int n = 0;
+    while (n < 18 && fields >> f[n + 1]) ++n;
+    if (n < 5) {
+      throw std::runtime_error("swf: malformed data line " +
+                               std::to_string(lineno));
+    }
+    for (int i = n + 1; i <= 18; ++i) f[i] = -1;
+
+    const double submit = f[2];
+    const double runtime = f[4];
+    double procs = f[5] > 0 ? f[5] : f[8];
+    if (submit < 0 || runtime <= 0 || procs <= 0) continue;  // cancelled
+    if (runtime < options.min_runtime_s) continue;
+
+    Job job;
+    job.id = static_cast<std::uint32_t>(jobs.size());
+    job.submit = submit;
+    job.dedicated_seconds = runtime;
+    job.cpu_pct = std::min(procs * 100.0, options.max_cpu_pct);
+    job.mem_mb = f[10] > 0 ? f[10] / 1024.0 * procs : options.default_mem_mb;
+    job.deadline_factor =
+        rng.uniform(options.deadline_factor_lo, options.deadline_factor_hi);
+    jobs.push_back(job);
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  if (!jobs.empty()) {
+    const sim::SimTime t0 = jobs.front().submit;
+    for (auto& j : jobs) j.submit -= t0;
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].id = static_cast<std::uint32_t>(i);
+  return jobs;
+}
+
+Workload read_swf_file(const std::string& path, const SwfOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("swf: cannot open " + path);
+  return read_swf(in, options);
+}
+
+void write_swf(std::ostream& out, const Workload& jobs) {
+  // Full round-trip precision for times (default ostream precision is 6
+  // significant digits, which truncates week-scale timestamps).
+  out.precision(15);
+  out << "; SWF trace written by easched\n"
+      << "; fields: id submit wait runtime procs avgcpu usedmem reqprocs "
+         "reqtime reqmem status uid gid app queue partition prevjob "
+         "thinktime\n";
+  for (const auto& j : jobs) {
+    const int procs = std::max(1, static_cast<int>(j.cpu_pct / 100.0 + 0.999));
+    out << j.id + 1 << ' ' << j.submit << ' ' << -1 << ' '
+        << j.dedicated_seconds << ' ' << procs << ' ' << -1 << ' ' << -1
+        << ' ' << procs << ' ' << -1 << ' '
+        << static_cast<long>(j.mem_mb * 1024.0 / procs) << ' ' << 1
+        << " -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+}  // namespace easched::workload

@@ -1,0 +1,47 @@
+// Standard Workload Format (SWF) trace I/O.
+//
+// The paper drives its evaluation with "slightly modified real Grid traces"
+// from the Grid Workloads Archive (Grid5000, week of 2007-10-01). The
+// archive distributes traces in SWF; this reader lets a user who has the
+// real file reproduce the paper on it, and the writer dumps our synthetic
+// traces in the same format so they can be inspected with standard tools.
+//
+// SWF is line-oriented: comment lines start with ';', data lines hold 18
+// whitespace-separated fields. We consume the fields the simulator needs:
+//   1 job id, 2 submit time [s], 4 run time [s], 5 allocated processors,
+//   8 requested processors, 10 requested memory [KB/proc].
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "support/rng.hpp"
+#include "workload/job.hpp"
+
+namespace easched::workload {
+
+/// Options controlling the SWF -> Job mapping.
+struct SwfOptions {
+  double default_mem_mb = 512;    ///< used when field 10 is absent (-1)
+  double max_cpu_pct = 400;       ///< clamp: one VM fits one 4-core host
+  double min_runtime_s = 30;      ///< drop sub-30 s jobs (noise in traces)
+  double deadline_factor_lo = 1.2;  ///< per paper section V
+  double deadline_factor_hi = 2.0;
+  std::uint64_t deadline_seed = 42;  ///< factors are drawn deterministically
+};
+
+/// Parses an SWF stream. Jobs with non-positive runtime or submit time are
+/// skipped (cancelled entries in archive traces). Submit times are shifted
+/// so the first job arrives at t = 0. Throws std::runtime_error on malformed
+/// data lines.
+Workload read_swf(std::istream& in, const SwfOptions& options = {});
+
+/// Convenience: opens and parses a file. Throws std::runtime_error when the
+/// file cannot be opened.
+Workload read_swf_file(const std::string& path,
+                       const SwfOptions& options = {});
+
+/// Writes a workload as SWF (fields we do not model are emitted as -1).
+void write_swf(std::ostream& out, const Workload& jobs);
+
+}  // namespace easched::workload

@@ -1,0 +1,94 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace easched::workload {
+
+namespace {
+
+/// Relative arrival intensity at time t (mean 1 over a weekday).
+double intensity(const SyntheticConfig& c, double t) {
+  const double day_frac = std::fmod(t, sim::kDay) / sim::kDay;
+  const double phase = c.diurnal_phase_hours / 24.0;
+  double f = 1.0 + c.diurnal_amplitude *
+                       std::sin(2.0 * 3.14159265358979323846 *
+                                (day_frac - phase));
+  const int day = static_cast<int>(t / sim::kDay);
+  if (day % 7 >= 5) f *= c.weekend_factor;
+  return std::max(f, 0.0);
+}
+
+}  // namespace
+
+Workload generate(const SyntheticConfig& c) {
+  EA_EXPECTS(c.span_seconds > 0);
+  EA_EXPECTS(c.mean_jobs_per_hour > 0);
+  EA_EXPECTS(c.batch_mean >= 1.0);
+  EA_EXPECTS(c.deadline_factor_lo <= c.deadline_factor_hi);
+
+  support::Rng rng{c.seed};
+  Workload jobs;
+
+  // Thinned non-homogeneous Poisson process over batch events. The batch
+  // event rate is the job rate divided by the mean batch size.
+  const double batch_rate_per_s =
+      c.mean_jobs_per_hour / sim::kHour / c.batch_mean;
+  // Upper bound of the intensity for thinning.
+  const double max_intensity = 1.0 + c.diurnal_amplitude;
+
+  double t = 0;
+  while (true) {
+    t += support::exponential(rng, batch_rate_per_s * max_intensity);
+    if (t >= c.span_seconds) break;
+    if (rng.uniform01() > intensity(c, t) / max_intensity) continue;
+
+    const unsigned batch =
+        1 + support::poisson(rng, std::max(c.batch_mean - 1.0, 0.0));
+    for (unsigned b = 0; b < batch; ++b) {
+      Job job;
+      job.id = static_cast<std::uint32_t>(jobs.size());
+      // Jobs of one batch arrive within a couple of minutes of each other.
+      job.submit = std::min(t + rng.uniform(0.0, 120.0), c.span_seconds);
+
+      const double weights[4] = {c.w_half_core, c.w_one_core, c.w_two_core,
+                                 c.w_four_core};
+      static constexpr double kCpu[4] = {50, 100, 200, 400};
+      job.cpu_pct = kCpu[support::weighted_choice(rng, weights, 4)];
+
+      job.dedicated_seconds = std::clamp(
+          support::lognormal(rng, std::log(c.median_runtime_s),
+                             c.runtime_sigma),
+          c.min_runtime_s, c.max_runtime_s);
+
+      const double mem_scale = job.cpu_pct / 100.0 / 2.0 + 0.5;
+      job.mem_mb = rng.uniform(c.mem_min_mb, c.mem_max_mb) * mem_scale;
+
+      job.deadline_factor =
+          rng.uniform(c.deadline_factor_lo, c.deadline_factor_hi);
+      job.fault_tolerance =
+          c.max_fault_tolerance > 0 ? rng.uniform(0.0, c.max_fault_tolerance)
+                                    : 0.0;
+      jobs.push_back(job);
+    }
+  }
+
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.submit < b.submit;
+  });
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].id = static_cast<std::uint32_t>(i);
+  return jobs;
+}
+
+Workload evaluation_workload(std::uint64_t seed) {
+  SyntheticConfig c;
+  c.seed = seed;
+  return generate(c);
+}
+
+}  // namespace easched::workload

@@ -1,0 +1,88 @@
+// Tests for the dynamic-threshold controller (section V-A future work).
+#include <gtest/gtest.h>
+
+#include "sched/adaptive_thresholds.hpp"
+
+namespace easched::sched {
+namespace {
+
+AdaptiveThresholdConfig config() {
+  AdaptiveThresholdConfig c;
+  c.enabled = true;
+  c.target_satisfaction = 98.0;
+  c.step = 0.05;
+  return c;
+}
+
+PowerControllerConfig initial(double lmin = 0.30, double lmax = 0.90) {
+  PowerControllerConfig p;
+  p.lambda_min = lmin;
+  p.lambda_max = lmax;
+  return p;
+}
+
+TEST(AdaptiveThresholds, BacksOffWhenSatisfactionLow) {
+  AdaptiveThresholds at(config(), initial());
+  const auto next = at.adjust(90.0, 10);
+  EXPECT_NEAR(next.lambda_min, 0.25, 1e-9);
+  EXPECT_NEAR(next.lambda_max, 0.85, 1e-9);
+}
+
+TEST(AdaptiveThresholds, ProbesWhenFullySatisfied) {
+  AdaptiveThresholds at(config(), initial());
+  const auto next = at.adjust(100.0, 10);
+  EXPECT_NEAR(next.lambda_min, 0.35, 1e-9);
+  EXPECT_NEAR(next.lambda_max, 0.925, 1e-9);
+}
+
+TEST(AdaptiveThresholds, SatisfiedButNotPerfectRaisesOnlyLambdaMin) {
+  AdaptiveThresholds at(config(), initial());
+  const auto next = at.adjust(99.0, 10);
+  EXPECT_NEAR(next.lambda_min, 0.35, 1e-9);
+  EXPECT_NEAR(next.lambda_max, 0.90, 1e-9);
+}
+
+TEST(AdaptiveThresholds, IdleWindowCarriesNoSignal) {
+  AdaptiveThresholds at(config(), initial());
+  const auto next = at.adjust(0.0, 0);
+  EXPECT_NEAR(next.lambda_min, 0.30, 1e-9);
+  EXPECT_NEAR(next.lambda_max, 0.90, 1e-9);
+}
+
+TEST(AdaptiveThresholds, ClampsToCeilings) {
+  AdaptiveThresholds at(config(), initial(0.58, 0.97));
+  for (int i = 0; i < 20; ++i) at.adjust(100.0, 5);
+  EXPECT_LE(at.current().lambda_min, config().lambda_min_ceil + 1e-9);
+  EXPECT_LE(at.current().lambda_max, config().lambda_max_ceil + 1e-9);
+}
+
+TEST(AdaptiveThresholds, ClampsToFloors) {
+  AdaptiveThresholds at(config(), initial(0.12, 0.52));
+  for (int i = 0; i < 20; ++i) at.adjust(50.0, 5);
+  EXPECT_GE(at.current().lambda_min, config().lambda_min_floor - 1e-9);
+  EXPECT_GE(at.current().lambda_max, config().lambda_max_floor - 1e-9);
+}
+
+TEST(AdaptiveThresholds, MaintainsGap) {
+  auto c = config();
+  c.gap = 0.30;
+  AdaptiveThresholds at(c, initial(0.45, 0.60));
+  for (int i = 0; i < 30; ++i) at.adjust(99.0, 5);  // raises lambda_min only
+  EXPECT_GE(at.current().lambda_max - at.current().lambda_min,
+            c.gap - 1e-9);
+}
+
+TEST(AdaptiveThresholds, ConvergesUnderAlternatingSignal) {
+  AdaptiveThresholds at(config(), initial());
+  // Feedback loop with the signal flipping around the target: thresholds
+  // must stay inside their bands, not run away.
+  for (int i = 0; i < 100; ++i) {
+    at.adjust(i % 2 == 0 ? 97.0 : 99.5, 5);
+    EXPECT_GE(at.current().lambda_min, config().lambda_min_floor - 1e-9);
+    EXPECT_LE(at.current().lambda_max, config().lambda_max_ceil + 1e-9);
+    EXPECT_LT(at.current().lambda_min, at.current().lambda_max);
+  }
+}
+
+}  // namespace
+}  // namespace easched::sched

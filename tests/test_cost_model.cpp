@@ -1,0 +1,76 @@
+// Tests for the economic cost model.
+#include <gtest/gtest.h>
+
+#include "metrics/cost_model.hpp"
+
+namespace easched::metrics {
+namespace {
+
+JobRecord job_record(double cpu_pct, double dedicated_s,
+                     double satisfaction) {
+  JobRecord r;
+  r.cpu_pct = cpu_pct;
+  r.dedicated_seconds = dedicated_s;
+  r.satisfaction = satisfaction;
+  r.deadline_seconds = dedicated_s * 1.5;
+  return r;
+}
+
+TEST(CostModel, EmptyRunCostsOnlyEnergy) {
+  Recorder rec(1);
+  rec.watts.set(0, 0, 1000.0);  // 1 kW for 1 h = 1 kWh
+  const auto cost = price_run(rec, 3600, {});
+  EXPECT_DOUBLE_EQ(cost.revenue_eur, 0.0);
+  EXPECT_NEAR(cost.energy_cost_eur, 0.12, 1e-9);
+  EXPECT_NEAR(cost.profit_eur(), -0.12, 1e-9);
+}
+
+TEST(CostModel, RevenueScalesWithCoreHours) {
+  Recorder rec(1);
+  rec.jobs.add(job_record(200, 3600, 100.0));  // 2 core-hours, full S
+  const auto cost = price_run(rec, 0, {});
+  EXPECT_NEAR(cost.revenue_eur, 2 * 0.08, 1e-9);
+}
+
+TEST(CostModel, SatisfactionDiscountsRevenue) {
+  Recorder rec(1);
+  rec.jobs.add(job_record(100, 3600, 50.0));
+  const auto cost = price_run(rec, 0, {});
+  EXPECT_NEAR(cost.revenue_eur, 0.08 * 0.5, 1e-9);
+}
+
+TEST(CostModel, BreachPenaltyBelowThreshold) {
+  Recorder rec(1);
+  rec.jobs.add(job_record(100, 3600, 49.9));
+  rec.jobs.add(job_record(100, 3600, 50.0));
+  CostModelConfig config;
+  config.breach_threshold_pct = 50.0;
+  config.breach_penalty_eur = 2.5;
+  const auto cost = price_run(rec, 0, config);
+  EXPECT_EQ(cost.breached_jobs, 1u);
+  EXPECT_NEAR(cost.breach_penalties_eur, 2.5, 1e-9);
+}
+
+TEST(CostModel, ProfitCombinesAllTerms) {
+  Recorder rec(1);
+  rec.watts.set(0, 0, 500.0);
+  rec.jobs.add(job_record(400, 7200, 100.0));  // 8 core-h -> 0.64 EUR
+  rec.jobs.add(job_record(100, 3600, 0.0));    // breached, no revenue
+  CostModelConfig config;
+  const auto cost = price_run(rec, 7200, config);
+  const double energy = 0.5 * 2 * 0.12;  // 1 kWh
+  EXPECT_NEAR(cost.profit_eur(),
+              0.64 - energy - config.breach_penalty_eur, 1e-9);
+}
+
+TEST(CostModel, CustomTariff) {
+  Recorder rec(1);
+  rec.watts.set(0, 0, 1000.0);
+  CostModelConfig config;
+  config.energy_price_eur_kwh = 0.50;
+  const auto cost = price_run(rec, 3600, config);
+  EXPECT_NEAR(cost.energy_cost_eur, 0.50, 1e-9);
+}
+
+}  // namespace
+}  // namespace easched::metrics

@@ -1,0 +1,165 @@
+// Unit and statistical tests for the reproducible distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace easched::support {
+namespace {
+
+struct Moments {
+  double mean = 0;
+  double variance = 0;
+};
+
+template <typename Draw>
+Moments sample_moments(Draw draw, int n = 50000) {
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = draw();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  return {mean, sq / n - mean * mean};
+}
+
+TEST(Distributions, Normal01Moments) {
+  Rng rng{1};
+  const auto m = sample_moments([&] { return normal01(rng); });
+  EXPECT_NEAR(m.mean, 0.0, 0.02);
+  EXPECT_NEAR(m.variance, 1.0, 0.03);
+}
+
+TEST(Distributions, NormalShiftScale) {
+  Rng rng{2};
+  const auto m = sample_moments([&] { return normal(rng, 40.0, 2.5); });
+  EXPECT_NEAR(m.mean, 40.0, 0.1);
+  EXPECT_NEAR(std::sqrt(m.variance), 2.5, 0.1);
+}
+
+TEST(Distributions, NormalZeroSigmaIsDeterministic) {
+  Rng rng{3};
+  EXPECT_DOUBLE_EQ(normal(rng, 7.0, 0.0), 7.0);
+}
+
+TEST(Distributions, TruncatedNormalRespectsFloor) {
+  Rng rng{4};
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(truncated_normal(rng, 1.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(Distributions, TruncatedNormalUntruncatedRegionUnbiased) {
+  // With the floor 10 sigma below the mean, truncation is a no-op.
+  Rng rng{5};
+  const auto m =
+      sample_moments([&] { return truncated_normal(rng, 40.0, 2.5, 15.0); });
+  EXPECT_NEAR(m.mean, 40.0, 0.1);
+}
+
+TEST(Distributions, TruncatedNormalZeroSigma) {
+  Rng rng{5};
+  EXPECT_DOUBLE_EQ(truncated_normal(rng, 3.0, 0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(truncated_normal(rng, 8.0, 0.0, 5.0), 8.0);
+}
+
+TEST(Distributions, ExponentialMeanMatchesRate) {
+  Rng rng{6};
+  const auto m = sample_moments([&] { return exponential(rng, 0.25); });
+  EXPECT_NEAR(m.mean, 4.0, 0.1);
+}
+
+TEST(Distributions, ExponentialIsPositive) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(exponential(rng, 2.0), 0.0);
+}
+
+TEST(Distributions, LognormalMedian) {
+  Rng rng{8};
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = lognormal(rng, std::log(3600.0), 1.2);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[10000] / 3600.0, 1.0, 0.1);
+}
+
+TEST(Distributions, ParetoBoundedBelowByScale) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(pareto(rng, 2.0, 1.5), 2.0);
+}
+
+TEST(Distributions, ParetoMeanForAlphaAboveOne) {
+  Rng rng{10};
+  // mean = alpha*xm/(alpha-1) = 3*1/(2) = 1.5
+  const auto m = sample_moments([&] { return pareto(rng, 1.0, 3.0); }, 200000);
+  EXPECT_NEAR(m.mean, 1.5, 0.05);
+}
+
+TEST(Distributions, PoissonZeroMean) {
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(poisson(rng, 0.0), 0u);
+}
+
+TEST(Distributions, PoissonSmallMeanMoments) {
+  Rng rng{12};
+  const auto m =
+      sample_moments([&] { return static_cast<double>(poisson(rng, 3.0)); });
+  EXPECT_NEAR(m.mean, 3.0, 0.05);
+  EXPECT_NEAR(m.variance, 3.0, 0.15);
+}
+
+TEST(Distributions, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng{13};
+  const auto m =
+      sample_moments([&] { return static_cast<double>(poisson(rng, 80.0)); });
+  EXPECT_NEAR(m.mean, 80.0, 0.5);
+  EXPECT_NEAR(m.variance, 80.0, 4.0);
+}
+
+TEST(Distributions, WeightedChoiceProportions) {
+  Rng rng{14};
+  const double w[3] = {1.0, 2.0, 7.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[weighted_choice(rng, w, 3)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.015);
+}
+
+TEST(Distributions, WeightedChoiceZeroWeightNeverPicked) {
+  Rng rng{15};
+  const double w[3] = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(weighted_choice(rng, w, 3), 1u);
+}
+
+TEST(Distributions, WeightedChoiceSingleEntry) {
+  Rng rng{16};
+  const double w[1] = {0.5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(weighted_choice(rng, w, 1), 0u);
+}
+
+/// Property sweep: every distribution is deterministic per seed.
+class DistributionDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributionDeterminism, SameSeedSameDraws) {
+  Rng a{GetParam()}, b{GetParam()};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(normal01(a), normal01(b));
+    EXPECT_DOUBLE_EQ(exponential(a, 1.5), exponential(b, 1.5));
+    EXPECT_DOUBLE_EQ(lognormal(a, 1.0, 0.5), lognormal(b, 1.0, 0.5));
+    EXPECT_DOUBLE_EQ(pareto(a, 1.0, 2.0), pareto(b, 1.0, 2.0));
+    EXPECT_EQ(poisson(a, 5.0), poisson(b, 5.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributionDeterminism,
+                         ::testing::Values(0u, 1u, 42u, 20071001u,
+                                           ~std::uint64_t{0}));
+
+}  // namespace
+}  // namespace easched::support

@@ -1,0 +1,205 @@
+// Tests for the maintenance-drain orchestration and queue-ordering
+// disciplines of the driver.
+#include <gtest/gtest.h>
+
+#include "policies/backfilling.hpp"
+#include "sched/driver.hpp"
+#include "test_fixtures.hpp"
+
+namespace easched::sched {
+namespace {
+
+using datacenter::HostId;
+using datacenter::HostState;
+using datacenter::VmId;
+using datacenter::VmState;
+using easched::testing::SmallDc;
+using easched::testing::make_job;
+
+struct DrainHarness : SmallDc {
+  policies::BackfillingPolicy policy;
+  std::unique_ptr<SchedulerDriver> driver;
+
+  explicit DrainHarness(std::size_t n, DriverConfig config = {})
+      : SmallDc(n) {
+    driver = std::make_unique<SchedulerDriver>(simulator, dc, policy, config);
+  }
+};
+
+TEST(Drain, EmptyHostPowersOffImmediately) {
+  DrainHarness f(3);
+  f.driver->drain_host(2);
+  EXPECT_FALSE(f.dc.host(2).is_placeable());
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.dc.host(2).state, HostState::kOff);
+  EXPECT_FALSE(f.driver->is_draining(2));
+}
+
+TEST(Drain, EvacuatesRunningVms) {
+  DrainHarness f(3);
+  const VmId v = f.admit_and_place(make_job(100, 512, 50000), 0);
+  f.simulator.run_until(100.0);  // running
+  f.driver->drain_host(0);
+  f.simulator.run_until(400.0);  // migration (60 s) + shutdown (10 s)
+  EXPECT_EQ(f.dc.vm(v).state, VmState::kRunning);
+  EXPECT_NE(f.dc.vm(v).host, 0u);
+  EXPECT_EQ(f.dc.host(0).state, HostState::kOff);
+}
+
+TEST(Drain, WaitsForInFlightCreation) {
+  DrainHarness f(2);
+  const VmId v = f.admit_and_place(make_job(100, 512, 5000), 0);
+  f.driver->drain_host(0);  // creation (40 s) still in flight
+  EXPECT_EQ(f.dc.vm(v).state, VmState::kCreating);
+  f.simulator.run_until(500.0);
+  // After the creation completed, the periodic round evicted the VM.
+  EXPECT_NE(f.dc.vm(v).host, 0u);
+  EXPECT_EQ(f.dc.host(0).state, HostState::kOff);
+}
+
+TEST(Drain, DrainingHostReceivesNoPlacements) {
+  DrainHarness f(2);
+  f.driver->drain_host(0);
+  workload::Workload jobs;
+  for (int i = 0; i < 3; ++i) {
+    workload::Job j = make_job(100, 512, 1000);
+    j.submit = 10.0 + i;
+    j.id = static_cast<std::uint32_t>(i);
+    jobs.push_back(j);
+  }
+  f.driver->submit_workload(jobs);
+  f.simulator.run_until(200.0);
+  EXPECT_TRUE(f.dc.host(0).residents.empty());
+  EXPECT_EQ(f.dc.host(1).residents.size(), 3u);
+}
+
+TEST(Drain, ControllerDoesNotRebootDrainedHost) {
+  DrainHarness f(2);
+  f.driver->drain_host(0);
+  f.simulator.run_until(20.0);
+  ASSERT_EQ(f.dc.host(0).state, HostState::kOff);
+  // Saturate host 1 so the controller is desperate for capacity.
+  workload::Workload jobs;
+  workload::Job j = make_job(400, 512, 2000);
+  j.submit = 30;
+  jobs.push_back(j);
+  workload::Job j2 = make_job(400, 512, 2000);
+  j2.submit = 31;
+  j2.id = 1;
+  jobs.push_back(j2);
+  f.driver->submit_workload(jobs);
+  f.simulator.run_until(1000.0);
+  EXPECT_EQ(f.dc.host(0).state, HostState::kOff);  // stayed down
+}
+
+TEST(Drain, CancelRestoresPlaceability) {
+  DrainHarness f(2);
+  const VmId v = f.admit_and_place(make_job(400, 512, 50000), 1);
+  f.simulator.run_until(100.0);
+  f.driver->drain_host(0);
+  f.simulator.run_until(150.0);
+  f.driver->cancel_drain(0);
+  EXPECT_FALSE(f.driver->is_draining(0));
+  // Host 0 is off (drain completed before cancel) but placeable again once
+  // the controller powers it up for queued work.
+  workload::Workload jobs;
+  workload::Job j = make_job(400, 512, 1000);
+  j.submit = 200;
+  jobs.push_back(j);
+  f.driver->submit_workload(jobs);
+  f.simulator.run_until(5000.0);
+  EXPECT_EQ(f.driver->finished(), 1u);
+  (void)v;
+}
+
+TEST(Drain, IsIdempotent) {
+  DrainHarness f(2);
+  f.driver->drain_host(0);
+  f.driver->drain_host(0);
+  EXPECT_TRUE(f.driver->is_draining(0) || f.dc.host(0).state != HostState::kOn);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(f.dc.host(0).state, HostState::kOff);
+}
+
+// ---- queue ordering ---------------------------------------------------------
+
+/// Builds a harness where jobs must *wait together* before the single host
+/// becomes available, so the queue discipline decides who goes first: the
+/// host starts by shutting down, the burst arrives while it is off, and the
+/// power controller boots it back up (300 s) for the queued work.
+struct BurstHarness : DrainHarness {
+  explicit BurstHarness(QueueOrder order)
+      : DrainHarness(1, [order] {
+          DriverConfig config;
+          config.queue_order = order;
+          return config;
+        }()) {
+    dc.power_off(0);
+  }
+
+  void submit_burst() {
+    // Three 400 % jobs arriving while the host is down; who goes first
+    // depends on the discipline. Deadlines: 6000, 1900, 2400.
+    workload::Workload jobs;
+    const double runtimes[3] = {3000, 1000, 2000};
+    const double factors[3] = {2.0, 1.9, 1.2};
+    for (int i = 0; i < 3; ++i) {
+      workload::Job j = make_job(400, 512, runtimes[i], factors[i]);
+      j.submit = 20.0 + i * 0.001;
+      j.id = static_cast<std::uint32_t>(i);
+      jobs.push_back(j);
+    }
+    driver->submit_workload(jobs);
+  }
+
+  /// The VM that won the host once it booted.
+  int first_started() {
+    simulator.run_until(400.0);  // boot (300 s) finished, round ran
+    for (VmId v = 0; v < dc.num_vms(); ++v) {
+      if (dc.vm(v).state != VmState::kQueued) return static_cast<int>(v);
+    }
+    return -1;
+  }
+};
+
+TEST(QueueOrder, FifoRunsArrivalOrder) {
+  BurstHarness f(QueueOrder::kFifo);
+  f.submit_burst();
+  EXPECT_EQ(f.first_started(), 0);
+}
+
+TEST(QueueOrder, SjfRunsShortestFirst) {
+  BurstHarness f(QueueOrder::kSjf);
+  f.submit_burst();
+  EXPECT_EQ(f.first_started(), 1);  // runtime 1000 is shortest
+}
+
+TEST(QueueOrder, EdfRunsTightestDeadlineFirst) {
+  BurstHarness f(QueueOrder::kEdf);
+  f.submit_burst();
+  // Absolute deadlines: 3000*2=6000, 1000*1.9=1900, 2000*1.2=2400.
+  EXPECT_EQ(f.first_started(), 1);
+}
+
+TEST(QueueOrder, EdfPrefersUrgentOverShortWhenTheyDiffer) {
+  BurstHarness f(QueueOrder::kEdf);
+  workload::Workload jobs;
+  workload::Job longer_but_urgent = make_job(400, 512, 2000, 1.2);  // 2400
+  longer_but_urgent.submit = 20;
+  jobs.push_back(longer_but_urgent);
+  workload::Job shorter_but_lax = make_job(400, 512, 1500, 2.0);  // 3000
+  shorter_but_lax.submit = 20.001;
+  shorter_but_lax.id = 1;
+  jobs.push_back(shorter_but_lax);
+  f.driver->submit_workload(jobs);
+  EXPECT_EQ(f.first_started(), 0);
+}
+
+TEST(QueueOrder, Names) {
+  EXPECT_STREQ(to_string(QueueOrder::kFifo), "fifo");
+  EXPECT_STREQ(to_string(QueueOrder::kEdf), "edf");
+  EXPECT_STREQ(to_string(QueueOrder::kSjf), "sjf");
+}
+
+}  // namespace
+}  // namespace easched::sched

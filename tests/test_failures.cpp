@@ -1,0 +1,242 @@
+// Tests for the failure model, failure injection and checkpoint recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "datacenter/failure_model.hpp"
+#include "test_fixtures.hpp"
+
+namespace easched::datacenter {
+namespace {
+
+using testing::SmallDc;
+using testing::make_job;
+
+// ---- FailureModel mathematics ----------------------------------------------
+
+TEST(FailureModel, MtbfFromReliability) {
+  FailureModel fm(3600);  // 1 h MTTR
+  // Frel = MTBF/(MTBF+MTTR): Frel = 0.9 -> MTBF = 9 h.
+  EXPECT_NEAR(fm.mtbf_s(0.9), 9 * 3600.0, 1e-6);
+  EXPECT_NEAR(fm.mtbf_s(0.5), 3600.0, 1e-6);
+}
+
+TEST(FailureModel, PerfectReliabilityNeverFails) {
+  FailureModel fm(3600);
+  EXPECT_TRUE(std::isinf(fm.mtbf_s(1.0)));
+  support::Rng rng{1};
+  EXPECT_TRUE(std::isinf(fm.draw_time_to_failure(rng, 1.0)));
+}
+
+TEST(FailureModel, DrawMeansMatchMtbf) {
+  FailureModel fm(3600);
+  support::Rng rng{2};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += fm.draw_time_to_failure(rng, 0.9);
+  EXPECT_NEAR(sum / n / 3600.0, 9.0, 0.3);
+}
+
+TEST(FailureModel, RepairDrawsAroundMttr) {
+  FailureModel fm(7200);
+  support::Rng rng{3};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += fm.draw_repair_time(rng);
+  EXPECT_NEAR(sum / n, 7200.0, 200.0);
+}
+
+// ---- failure injection in the datacenter ------------------------------------
+
+/// Fleet where host 0 fails fast and predictably.
+struct FlakyDc : SmallDc {
+  static DatacenterConfig flaky_config() {
+    DatacenterConfig config;
+    config.inject_failures = true;
+    config.mean_repair_s = 500;
+    return config;
+  }
+  FlakyDc() : SmallDc(3, flaky_config()) {}
+};
+
+DatacenterConfig one_flaky_host(double reliability, bool checkpoint = false) {
+  DatacenterConfig config;
+  config.inject_failures = true;
+  config.mean_repair_s = 1000;
+  config.checkpoint.enabled = checkpoint;
+  config.checkpoint.period_s = 100;
+  config.checkpoint.duration_s = 1;
+  return config;
+}
+
+TEST(Failures, FailedHostRequeuesItsVms) {
+  auto config = one_flaky_host(0.2);
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  config.hosts.assign(1, HostSpec::medium());
+  config.hosts[0].reliability = 0.2;  // MTBF = 250 s: fails quickly
+  config.duration_sigma_ratio = 0;
+  Datacenter dc(simulator, config, recorder);
+
+  std::vector<VmId> lost;
+  dc.on_host_failed = [&](HostId, std::vector<VmId> vms) { lost = vms; };
+
+  const auto v = dc.admit_job(make_job(100, 512, 50000));
+  dc.place(v, 0);
+  simulator.run_until(20000.0);
+
+  ASSERT_FALSE(lost.empty());
+  EXPECT_EQ(lost[0], v);
+  EXPECT_GE(recorder.counts.failures, 1u);
+  const auto& vm = dc.vm(v);
+  EXPECT_GE(vm.restarts, 1);
+  if (vm.state == VmState::kQueued) {
+    EXPECT_EQ(vm.host, kNoHost);
+    EXPECT_DOUBLE_EQ(vm.progress_rate, 0.0);
+  }
+}
+
+TEST(Failures, WorkLostWithoutCheckpointing) {
+  auto config = one_flaky_host(0.5);
+  config.hosts.assign(1, HostSpec::medium());
+  config.hosts[0].reliability = 0.5;
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  Datacenter dc(simulator, config, recorder);
+
+  bool failed = false;
+  dc.on_host_failed = [&](HostId, std::vector<VmId>) { failed = true; };
+  const auto v = dc.admit_job(make_job(100, 512, 100000));
+  dc.place(v, 0);
+  while (!failed && simulator.pending() > 0) {
+    simulator.run_until(simulator.now() + 100.0);
+  }
+  ASSERT_TRUE(failed);
+  EXPECT_DOUBLE_EQ(dc.vm(v).work_done_s, 0.0);  // restarted from scratch
+}
+
+TEST(Failures, CheckpointPreservesProgress) {
+  auto config = one_flaky_host(0.5, /*checkpoint=*/true);
+  config.hosts.assign(1, HostSpec::medium());
+  config.hosts[0].reliability = 0.5;
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  Datacenter dc(simulator, config, recorder);
+
+  bool failed = false;
+  dc.on_host_failed = [&](HostId, std::vector<VmId>) { failed = true; };
+  const auto v = dc.admit_job(make_job(100, 512, 100000));
+  dc.place(v, 0);
+  while (!failed && simulator.pending() > 0) {
+    simulator.run_until(simulator.now() + 100.0);
+  }
+  ASSERT_TRUE(failed);
+  // The host ran for ~MTBF(0.5)=1000 s on average before dying; with a
+  // 100 s checkpoint cadence some progress must have been preserved
+  // (unless the failure struck within the very first checkpoint period).
+  if (simulator.now() > 400) {
+    EXPECT_GT(dc.vm(v).work_done_s, 0.0);
+    EXPECT_GT(recorder.counts.checkpoint_recoveries, 0u);
+  }
+}
+
+TEST(Failures, HostRepairsToOffState) {
+  auto config = one_flaky_host(0.2);
+  config.hosts.assign(1, HostSpec::medium());
+  config.hosts[0].reliability = 0.2;
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  Datacenter dc(simulator, config, recorder);
+
+  bool repaired = false;
+  dc.on_host_repaired = [&](HostId) { repaired = true; };
+  const auto v = dc.admit_job(make_job());
+  dc.place(v, 0);
+  simulator.run_until(50000.0);
+  ASSERT_TRUE(repaired);
+  EXPECT_TRUE(dc.host(0).state == HostState::kOff ||
+              dc.host(0).state == HostState::kFailed);
+  EXPECT_TRUE(dc.host(0).residents.empty());
+}
+
+TEST(Failures, ReliableHostsNeverFail) {
+  SmallDc f(2, [] {
+    DatacenterConfig c;
+    c.inject_failures = true;
+    return c;
+  }());
+  f.admit_and_place(make_job(100, 512, 5000), 0);
+  f.simulator.run();
+  EXPECT_EQ(f.recorder.counts.failures, 0u);
+}
+
+TEST(Failures, PowerOffCancelsPendingFailure) {
+  DatacenterConfig config;
+  config.inject_failures = true;
+  config.hosts.assign(2, HostSpec::medium());
+  config.hosts[1].reliability = 0.01;  // would fail almost immediately
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(2);
+  Datacenter dc(simulator, config, recorder);
+  dc.power_off(1);
+  simulator.run_until(100000.0);
+  EXPECT_EQ(recorder.counts.failures, 0u);
+  EXPECT_EQ(dc.host(1).state, HostState::kOff);
+}
+
+TEST(Failures, MigrationSourceDiesTransferAborts) {
+  DatacenterConfig config;
+  config.hosts.assign(2, HostSpec::medium());
+  config.duration_sigma_ratio = 0;
+  // No automatic injection; we fail the host deterministically by making
+  // it extremely unreliable and powering it on at t=0... instead exercise
+  // the path via inject with reliability ~0 on host 0 only.
+  config.inject_failures = true;
+  config.hosts[0].reliability = 0.08;  // MTBF ~87 s with MTTR 1000
+  config.mean_repair_s = 1000;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(2);
+  Datacenter dc(simulator, config, recorder);
+
+  const auto v = dc.admit_job(make_job(100, 512, 100000));
+  dc.place(v, 0);
+  simulator.run_until(45.0);  // creation done (40 s) before typical failure
+  if (dc.vm(v).state == VmState::kRunning) {
+    dc.migrate(v, 1);
+    simulator.run_until(20000.0);
+    // Whatever happened (failure mid-transfer or afterwards), the VM must
+    // be in a consistent state: never stuck Migrating forever.
+    EXPECT_NE(dc.vm(v).state, VmState::kMigrating);
+  }
+}
+
+TEST(Failures, FailureDuringCreationRequeues) {
+  DatacenterConfig config;
+  config.hosts.assign(1, HostSpec::medium());
+  config.hosts[0].creation_cost_s = 10000;  // keep it creating for long
+  config.inject_failures = true;
+  config.hosts[0].reliability = 0.2;
+  config.mean_repair_s = 1000;
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  Datacenter dc(simulator, config, recorder);
+
+  bool failed = false;
+  dc.on_host_failed = [&](HostId, std::vector<VmId>) { failed = true; };
+  const auto v = dc.admit_job(make_job());
+  dc.place(v, 0);
+  simulator.run_until(5000.0);
+  if (failed) {
+    EXPECT_EQ(dc.vm(v).state, VmState::kQueued);
+    EXPECT_TRUE(dc.host(0).ops.empty());
+  }
+}
+
+}  // namespace
+}  // namespace easched::datacenter

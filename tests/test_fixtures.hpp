@@ -1,0 +1,55 @@
+// Shared helpers for datacenter-level tests: a small fleet with
+// deterministic (zero-jitter) operation durations so lifecycle timings can
+// be asserted exactly.
+#pragma once
+
+#include "datacenter/datacenter.hpp"
+#include "sim/simulator.hpp"
+
+namespace easched::testing {
+
+inline workload::Job make_job(double cpu_pct = 100, double mem_mb = 512,
+                              double dedicated_s = 1000,
+                              double deadline_factor = 1.5,
+                              double submit = 0) {
+  workload::Job job;
+  job.submit = submit;
+  job.dedicated_seconds = dedicated_s;
+  job.cpu_pct = cpu_pct;
+  job.mem_mb = mem_mb;
+  job.deadline_factor = deadline_factor;
+  return job;
+}
+
+/// A fixture owning simulator + recorder + datacenter with `n` identical
+/// medium hosts, zero duration jitter and no contention surprises.
+struct SmallDc {
+  sim::Simulator simulator;
+  metrics::Recorder recorder;
+  datacenter::Datacenter dc;
+
+  static datacenter::DatacenterConfig make_config(
+      std::size_t n, datacenter::DatacenterConfig base) {
+    // Tests that pre-populated custom hosts keep them; otherwise n
+    // identical medium nodes.
+    if (base.hosts.empty()) {
+      base.hosts.assign(n, datacenter::HostSpec::medium());
+    }
+    base.duration_sigma_ratio = 0;  // deterministic operation durations
+    base.seed = 99;
+    return base;
+  }
+
+  explicit SmallDc(std::size_t n = 3,
+                   datacenter::DatacenterConfig base = {})
+      : recorder(n), dc(simulator, make_config(n, std::move(base)), recorder) {}
+
+  datacenter::VmId admit_and_place(const workload::Job& job,
+                                   datacenter::HostId h) {
+    const auto v = dc.admit_job(job);
+    dc.place(v, h);
+    return v;
+  }
+};
+
+}  // namespace easched::testing

@@ -1,0 +1,251 @@
+// Randomized stress harness: drives the Datacenter with random (but valid)
+// actuator calls interleaved with time advancement and checks structural
+// invariants after every step. This is the property-based safety net for
+// the bookkeeping that the scenario tests cannot cover combinatorially:
+// resident lists vs. VM states, reservations vs. capacities, operation
+// records vs. VM operations, meters vs. states.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_fixtures.hpp"
+
+namespace easched::datacenter {
+namespace {
+
+using easched::testing::make_job;
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(std::uint64_t seed, bool failures)
+      : rng_(seed), recorder_(kHosts) {
+    DatacenterConfig config;
+    config.hosts.assign(kHosts, HostSpec::medium());
+    if (failures) {
+      config.inject_failures = true;
+      config.mean_repair_s = 400;
+      for (std::size_t i = 0; i < kHosts; i += 2) {
+        config.hosts[i].reliability = 0.85;
+      }
+    }
+    config.checkpoint.enabled = failures;
+    config.checkpoint.period_s = 120;
+    config.checkpoint.duration_s = 3;
+    config.seed = seed ^ 0x5eed;
+    dc_ = std::make_unique<Datacenter>(simulator_, config, recorder_);
+    dc_->on_host_failed = [this](HostId, std::vector<VmId> lost) {
+      for (VmId v : lost) queued_.push_back(v);
+    };
+  }
+
+  void step() {
+    switch (rng_.uniform_int(0, 6)) {
+      case 0:
+        maybe_submit();
+        break;
+      case 1:
+        maybe_place();
+        break;
+      case 2:
+        maybe_migrate();
+        break;
+      case 3:
+        maybe_power_cycle();
+        break;
+      case 4:
+        maybe_boost();
+        break;
+      default:
+        advance();
+        break;
+    }
+    check_invariants();
+  }
+
+  void drain() {
+    // Push time forward so in-flight operations and jobs settle.
+    for (int i = 0; i < 50; ++i) {
+      simulator_.run_until(simulator_.now() + 500.0);
+      check_invariants();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kHosts = 6;
+
+  void maybe_submit() {
+    static constexpr double kCpu[4] = {50, 100, 200, 400};
+    workload::Job job = make_job(
+        kCpu[rng_.uniform_int(0, 3)], rng_.uniform(128, 1500),
+        rng_.uniform(200, 4000), rng_.uniform(1.2, 2.0), simulator_.now());
+    queued_.push_back(dc_->admit_job(job));
+  }
+
+  void maybe_place() {
+    if (queued_.empty()) return;
+    const std::size_t pick = rng_.uniform_int(0, queued_.size() - 1);
+    const VmId v = queued_[pick];
+    if (dc_->vm(v).state != VmState::kQueued) {
+      queued_.erase(queued_.begin() + static_cast<long>(pick));
+      return;
+    }
+    std::vector<HostId> fitting;
+    for (HostId h = 0; h < dc_->num_hosts(); ++h) {
+      if (dc_->fits_memory(h, v)) fitting.push_back(h);
+    }
+    if (fitting.empty()) return;
+    queued_.erase(queued_.begin() + static_cast<long>(pick));
+    dc_->place(v, fitting[rng_.uniform_int(0, fitting.size() - 1)]);
+  }
+
+  void maybe_migrate() {
+    std::vector<VmId> running;
+    for (VmId v : dc_->active_vms()) {
+      if (dc_->vm(v).state == VmState::kRunning) running.push_back(v);
+    }
+    if (running.empty()) return;
+    const VmId v = running[rng_.uniform_int(0, running.size() - 1)];
+    std::vector<HostId> targets;
+    for (HostId h = 0; h < dc_->num_hosts(); ++h) {
+      if (h != dc_->vm(v).host && dc_->fits_memory(h, v)) targets.push_back(h);
+    }
+    if (targets.empty()) return;
+    dc_->migrate(v, targets[rng_.uniform_int(0, targets.size() - 1)]);
+  }
+
+  void maybe_power_cycle() {
+    const HostId h =
+        static_cast<HostId>(rng_.uniform_int(0, dc_->num_hosts() - 1));
+    const auto& host = dc_->host(h);
+    if (host.state == HostState::kOff) {
+      dc_->power_on(h);
+    } else if (host.is_idle_on() && dc_->online_count() > 1) {
+      dc_->power_off(h);
+    }
+  }
+
+  void maybe_boost() {
+    for (VmId v : dc_->active_vms()) {
+      if (dc_->vm(v).state == VmState::kRunning && rng_.uniform01() < 0.3) {
+        if (rng_.uniform01() < 0.5) {
+          dc_->boost_demand(v, dc_->vm(v).cpu_demand_pct * 1.5);
+        } else {
+          dc_->boost_weight(v, 2.0);
+        }
+        return;
+      }
+    }
+  }
+
+  void advance() { simulator_.run_until(simulator_.now() + rng_.uniform(1, 300)); }
+
+  void check_invariants() {
+    double expected_working = 0;
+    double expected_online = 0;
+
+    for (HostId h = 0; h < dc_->num_hosts(); ++h) {
+      const Host& host = dc_->host(h);
+      expected_working += host.is_working() ? 1 : 0;
+      expected_online += host.is_online() ? 1 : 0;
+
+      // Residents' states and back-pointers are consistent.
+      for (VmId v : host.residents) {
+        const Vm& vm = dc_->vm(v);
+        ASSERT_EQ(vm.host, h);
+        ASSERT_TRUE(vm.state == VmState::kCreating ||
+                    vm.state == VmState::kRunning ||
+                    vm.state == VmState::kMigrating)
+            << to_string(vm.state);
+      }
+      // Only On hosts hold residents or operations.
+      if (host.state != HostState::kOn) {
+        ASSERT_TRUE(host.residents.empty());
+        ASSERT_TRUE(host.ops.empty());
+        ASSERT_DOUBLE_EQ(host.used_cpu_pct, 0.0);
+      }
+      // Memory reservations never exceed physical memory.
+      ASSERT_LE(dc_->reserved_mem_mb(h), host.spec.mem_mb + 1e-6);
+      // Operation records refer to live VMs in matching states.
+      for (const auto& op : host.ops) {
+        const Vm& vm = dc_->vm(op.vm);
+        switch (op.kind) {
+          case Operation::Kind::kCreate:
+            ASSERT_EQ(vm.state, VmState::kCreating);
+            break;
+          case Operation::Kind::kMigrateIn:
+            ASSERT_EQ(vm.state, VmState::kMigrating);
+            ASSERT_EQ(vm.host, h);
+            break;
+          case Operation::Kind::kMigrateOut:
+            ASSERT_EQ(vm.state, VmState::kMigrating);
+            ASSERT_EQ(vm.migration_source, h);
+            break;
+          case Operation::Kind::kCheckpoint:
+            break;  // checkpointed VM may have been requeued meanwhile
+        }
+        ASSERT_GE(op.done_s, -1e9);
+        ASSERT_LE(op.done_s, op.work_s + 1e-6);
+      }
+      // Power meter matches the host state.
+      const double watts = recorder_.watts.host_current(h);
+      if (host.state == HostState::kOff || host.state == HostState::kFailed) {
+        ASSERT_DOUBLE_EQ(watts, host.spec.power.watts_off());
+      } else {
+        ASSERT_GE(watts, host.spec.power.watts_off());
+        ASSERT_LE(watts, host.spec.power.watts_on(host.spec.cpu_capacity_pct,
+                                                  host.spec.cpu_capacity_pct) +
+                             1e-6);
+      }
+    }
+
+    ASSERT_EQ(dc_->working_count(), static_cast<int>(expected_working));
+    ASSERT_EQ(dc_->online_count(), static_cast<int>(expected_online));
+
+    // Every VM's bookkeeping is sane.
+    for (VmId v = 0; v < dc_->num_vms(); ++v) {
+      const Vm& vm = dc_->vm(v);
+      ASSERT_GE(vm.work_done_s, 0.0);
+      ASSERT_LE(vm.work_done_s, vm.job.dedicated_seconds + 1e-6);
+      ASSERT_LE(vm.work_checkpointed_s, vm.work_done_s + 1e-6);
+      ASSERT_GE(vm.progress_rate, 0.0);
+      ASSERT_LE(vm.progress_rate, 1.0 + 1e-9);
+      if (vm.state == VmState::kQueued || vm.state == VmState::kFinished) {
+        ASSERT_EQ(vm.host, kNoHost);
+      } else {
+        ASSERT_LT(vm.host, dc_->num_hosts());
+        const auto& residents = dc_->host(vm.host).residents;
+        ASSERT_NE(std::find(residents.begin(), residents.end(), v),
+                  residents.end());
+      }
+      if (vm.state != VmState::kMigrating) {
+        ASSERT_EQ(vm.migration_source, kNoHost);
+      }
+    }
+  }
+
+  support::Rng rng_;
+  sim::Simulator simulator_;
+  metrics::Recorder recorder_;
+  std::unique_ptr<Datacenter> dc_;
+  std::vector<VmId> queued_;
+};
+
+class FuzzDatacenter : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDatacenter, InvariantsHoldWithoutFailures) {
+  Fuzzer fuzzer(GetParam(), /*failures=*/false);
+  for (int i = 0; i < 600; ++i) fuzzer.step();
+  fuzzer.drain();
+}
+
+TEST_P(FuzzDatacenter, InvariantsHoldWithFailureInjection) {
+  Fuzzer fuzzer(GetParam() * 7919 + 1, /*failures=*/true);
+  for (int i = 0; i < 600; ++i) fuzzer.step();
+  fuzzer.drain();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDatacenter,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace easched::datacenter

@@ -1,0 +1,227 @@
+// End-to-end integration tests: whole simulated runs through the public
+// experiment runner, cross-checking metrics consistency, determinism and
+// the headline orderings the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/score_based_policy.hpp"
+#include "experiments/runner.hpp"
+#include "experiments/setup.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace easched::experiments {
+namespace {
+
+workload::Workload small_week(std::uint64_t seed = 77) {
+  workload::SyntheticConfig c;
+  c.seed = seed;
+  c.span_seconds = 1.5 * sim::kDay;
+  c.mean_jobs_per_hour = 10;
+  return workload::generate(c);
+}
+
+RunConfig small_config(const std::string& policy) {
+  RunConfig config;
+  config.datacenter.hosts = evaluation_hosts(4, 10, 6);
+  config.datacenter.seed = 5;
+  config.policy = policy;
+  config.horizon_s = 90 * sim::kDay;  // generous safety net
+  return config;
+}
+
+TEST(Integration, EveryPolicyCompletesTheWorkload) {
+  const auto jobs = small_week();
+  for (const char* policy :
+       {"RD", "RR", "BF", "DBF", "SB0", "SB1", "SB2", "SB", "SB-full"}) {
+    const auto res = run_experiment(jobs, small_config(policy));
+    EXPECT_EQ(res.jobs_finished, jobs.size()) << policy;
+    EXPECT_FALSE(res.hit_horizon) << policy;
+    EXPECT_GT(res.report.energy_kwh, 0.0) << policy;
+    EXPECT_GT(res.report.satisfaction, 0.0) << policy;
+  }
+}
+
+TEST(Integration, IdenticalSeedsIdenticalResults) {
+  const auto jobs = small_week();
+  const auto a = run_experiment(jobs, small_config("SB"));
+  const auto b = run_experiment(jobs, small_config("SB"));
+  EXPECT_DOUBLE_EQ(a.report.energy_kwh, b.report.energy_kwh);
+  EXPECT_DOUBLE_EQ(a.report.satisfaction, b.report.satisfaction);
+  EXPECT_DOUBLE_EQ(a.report.cpu_hours, b.report.cpu_hours);
+  EXPECT_EQ(a.report.migrations, b.report.migrations);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_DOUBLE_EQ(a.end_time_s, b.end_time_s);
+}
+
+TEST(Integration, DifferentSeedsPerturbResults) {
+  const auto a = run_experiment(small_week(1), small_config("BF"));
+  const auto b = run_experiment(small_week(2), small_config("BF"));
+  EXPECT_NE(a.report.energy_kwh, b.report.energy_kwh);
+}
+
+TEST(Integration, CpuHoursCoverTheWorkloadForConsolidatingPolicies) {
+  // Consolidating policies never oversubscribe, so allocated CPU must be
+  // at least the workload's dedicated core-hours (plus overhead) and not
+  // wildly more.
+  const auto jobs = small_week();
+  const auto demand = workload::compute_stats(jobs).core_hours;
+  for (const char* policy : {"BF", "SB0", "SB"}) {
+    const auto res = run_experiment(jobs, small_config(policy));
+    EXPECT_GE(res.report.cpu_hours, demand * 0.999) << policy;
+    EXPECT_LE(res.report.cpu_hours, demand * 1.15) << policy;
+  }
+}
+
+TEST(Integration, ContendingPoliciesBurnMoreCpu) {
+  const auto jobs = small_week();
+  const auto demand = workload::compute_stats(jobs).core_hours;
+  const auto rd = run_experiment(jobs, small_config("RD"));
+  EXPECT_GT(rd.report.cpu_hours, demand * 1.05);
+}
+
+TEST(Integration, ConsolidationOrderingHolds) {
+  // The paper's core ordering: consolidating policies beat spreading ones
+  // on energy; the migrating score-based policy is at least as good as BF.
+  const auto jobs = small_week();
+  const auto bf = run_experiment(jobs, small_config("BF"));
+  const auto rr = run_experiment(jobs, small_config("RR"));
+  const auto rd = run_experiment(jobs, small_config("RD"));
+  const auto sb = run_experiment(jobs, small_config("SB"));
+  EXPECT_LT(bf.report.energy_kwh, rr.report.energy_kwh);
+  EXPECT_LT(bf.report.energy_kwh, rd.report.energy_kwh);
+  EXPECT_LE(sb.report.energy_kwh, bf.report.energy_kwh * 1.02);
+  EXPECT_GE(bf.report.satisfaction, rd.report.satisfaction);
+}
+
+TEST(Integration, AggressiveThresholdsSavePower) {
+  const auto jobs = small_week();
+  auto lazy = small_config("SB");
+  lazy.driver.power.lambda_min = 0.10;
+  lazy.driver.power.lambda_max = 0.50;
+  auto aggressive = small_config("SB");
+  aggressive.driver.power.lambda_min = 0.50;
+  aggressive.driver.power.lambda_max = 0.95;
+  const auto a = run_experiment(jobs, std::move(lazy));
+  const auto b = run_experiment(jobs, std::move(aggressive));
+  EXPECT_LT(b.report.energy_kwh, a.report.energy_kwh);
+  EXPECT_LE(b.report.satisfaction, a.report.satisfaction + 0.5);
+}
+
+TEST(Integration, ControllerDisabledKeepsFleetOn) {
+  const auto jobs = small_week();
+  auto config = small_config("BF");
+  config.driver.power.enabled = false;
+  const auto res = run_experiment(jobs, std::move(config));
+  EXPECT_NEAR(res.report.avg_online,
+              static_cast<double>(evaluation_hosts(4, 10, 6).size()), 0.01);
+
+  auto with = small_config("BF");
+  const auto controlled = run_experiment(jobs, std::move(with));
+  // Section V: "turning on and off machines in a dynamic way can be used
+  // to dramatically increase the energy efficiency". On this small, busy
+  // fleet the margin is smaller than on the 100-node datacenter.
+  EXPECT_LT(controlled.report.energy_kwh, 0.9 * res.report.energy_kwh);
+  EXPECT_LT(controlled.report.avg_online, res.report.avg_online);
+}
+
+TEST(Integration, MetricsInternallyConsistent) {
+  const auto jobs = small_week();
+  const auto res = run_experiment(jobs, small_config("SB"));
+  const auto& r = res.report;
+  EXPECT_GE(r.avg_online, r.avg_working - 1e-9);
+  EXPECT_LE(r.satisfaction, 100.0);
+  EXPECT_GE(r.satisfaction, 0.0);
+  EXPECT_GE(r.delay_pct, 0.0);
+  EXPECT_EQ(r.jobs_finished, jobs.size());
+  EXPECT_GT(r.duration_s, 0.0);
+  // Energy is bounded by the whole fleet running flat out.
+  const double fleet_max_kwh =
+      20 * 304.0 * r.duration_s / sim::kHour / 1000.0;
+  EXPECT_LT(r.energy_kwh, fleet_max_kwh);
+}
+
+TEST(Integration, ConsolidatingPoliciesNeverOversubscribe) {
+  // The Pres/occupation guard is a hard invariant for BF and the
+  // score-based family; RD deliberately violates it. Run via the low-level
+  // pieces so the recorder's oversubscription gauge stays accessible.
+  const auto jobs = small_week();
+  for (const char* policy : {"BF", "SB0", "SB"}) {
+    sim::Simulator simulator;
+    auto dc_config = small_config(policy).datacenter;
+    metrics::Recorder recorder(dc_config.hosts.size());
+    datacenter::Datacenter dc(simulator, dc_config, recorder);
+    auto p = make_policy(policy);
+    sched::SchedulerDriver driver(simulator, dc, *p, {});
+    driver.submit_workload(jobs);
+    driver.on_all_done = [&simulator] { simulator.stop(); };
+    simulator.run();
+    EXPECT_LE(recorder.max_oversubscription, 1.0 + 1e-6) << policy;
+  }
+  {
+    sim::Simulator simulator;
+    auto dc_config = small_config("RD").datacenter;
+    metrics::Recorder recorder(dc_config.hosts.size());
+    datacenter::Datacenter dc(simulator, dc_config, recorder);
+    auto p = make_policy("RD");
+    sched::SchedulerDriver driver(simulator, dc, *p, {});
+    driver.submit_workload(jobs);
+    driver.on_all_done = [&simulator] { simulator.stop(); };
+    simulator.run();
+    EXPECT_GT(recorder.max_oversubscription, 1.0);
+  }
+}
+
+TEST(Integration, MigratingPoliciesReportMigrations) {
+  const auto jobs = small_week();
+  const auto sb = run_experiment(jobs, small_config("SB"));
+  const auto sb0 = run_experiment(jobs, small_config("SB0"));
+  EXPECT_GT(sb.report.migrations, 0u);
+  EXPECT_EQ(sb0.report.migrations, 0u);
+}
+
+TEST(Integration, RunnerRejectsUnknownPolicy) {
+  const auto jobs = small_week();
+  EXPECT_THROW(run_experiment(jobs, small_config("NOPE")),
+               std::invalid_argument);
+}
+
+TEST(Integration, CustomPolicyInstanceIsUsed) {
+  const auto jobs = small_week();
+  auto config = small_config("ignored");
+  auto custom = core::ScoreBasedConfig::sb();
+  custom.label = "custom-label";
+  config.policy_instance = std::make_unique<core::ScoreBasedPolicy>(custom);
+  const auto res = run_experiment(jobs, std::move(config));
+  EXPECT_EQ(res.report.policy, "custom-label");
+}
+
+TEST(Integration, FailureInjectionRunCompletes) {
+  auto jobs = small_week();
+  auto config = small_config("SB-full");
+  for (std::size_t i = 0; i < config.datacenter.hosts.size(); i += 3) {
+    config.datacenter.hosts[i].reliability = 0.97;
+  }
+  config.datacenter.inject_failures = true;
+  config.datacenter.mean_repair_s = sim::kHour;
+  config.datacenter.checkpoint.enabled = true;
+  const auto res = run_experiment(jobs, std::move(config));
+  EXPECT_EQ(res.jobs_finished, jobs.size());
+  EXPECT_FALSE(res.hit_horizon);
+}
+
+TEST(Integration, SwfTraceDrivesSimulation) {
+  // Write the synthetic workload as SWF, re-read it and run: exercises the
+  // full trace path end to end.
+  const auto original = small_week();
+  std::stringstream buffer;
+  workload::write_swf(buffer, original);
+  const auto reread = workload::read_swf(buffer);
+  ASSERT_FALSE(reread.empty());
+  const auto res = run_experiment(reread, small_config("BF"));
+  EXPECT_EQ(res.jobs_finished, reread.size());
+}
+
+}  // namespace
+}  // namespace easched::experiments

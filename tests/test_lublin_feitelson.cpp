@@ -1,0 +1,134 @@
+// Tests for the Lublin-Feitelson workload model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "experiments/runner.hpp"
+#include "experiments/setup.hpp"
+#include "workload/lublin_feitelson.hpp"
+
+namespace easched::workload {
+namespace {
+
+TEST(LublinFeitelson, DeterministicPerSeed) {
+  LublinFeitelsonConfig c;
+  const auto a = generate_lublin_feitelson(c);
+  const auto b = generate_lublin_feitelson(c);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit, b[i].submit);
+    EXPECT_DOUBLE_EQ(a[i].dedicated_seconds, b[i].dedicated_seconds);
+  }
+}
+
+TEST(LublinFeitelson, FieldsWithinBounds) {
+  LublinFeitelsonConfig c;
+  const auto jobs = generate_lublin_feitelson(c);
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit, 0.0);
+    EXPECT_LT(j.submit, c.span_seconds);
+    EXPECT_GE(j.dedicated_seconds, c.min_runtime_s);
+    EXPECT_LE(j.dedicated_seconds, c.max_runtime_s);
+    EXPECT_GE(j.cpu_pct, 100.0);
+    EXPECT_LE(j.cpu_pct, 100.0 * c.max_procs);
+    EXPECT_GE(j.deadline_factor, 1.2);
+    EXPECT_LE(j.deadline_factor, 2.0);
+  }
+}
+
+TEST(LublinFeitelson, SerialFractionNearConfigured) {
+  LublinFeitelsonConfig c;
+  c.mean_jobs_per_hour = 60;  // large sample
+  const auto jobs = generate_lublin_feitelson(c);
+  std::size_t serial = 0;
+  for (const auto& j : jobs) serial += j.cpu_pct == 100.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(serial) / jobs.size(), c.p_serial, 0.05);
+}
+
+TEST(LublinFeitelson, PowersOfTwoDominateParallelSizes) {
+  LublinFeitelsonConfig c;
+  c.mean_jobs_per_hour = 60;
+  const auto jobs = generate_lublin_feitelson(c);
+  std::size_t pow2 = 0, parallel = 0;
+  for (const auto& j : jobs) {
+    const int procs = static_cast<int>(j.cpu_pct / 100.0);
+    if (procs == 1) continue;
+    ++parallel;
+    if ((procs & (procs - 1)) == 0) ++pow2;
+  }
+  ASSERT_GT(parallel, 100u);
+  EXPECT_GT(static_cast<double>(pow2) / parallel, 0.7);
+}
+
+TEST(LublinFeitelson, RuntimeIsHeavyTailedMixture) {
+  LublinFeitelsonConfig c;
+  c.mean_jobs_per_hour = 60;
+  const auto jobs = generate_lublin_feitelson(c);
+  double sum = 0;
+  std::vector<double> runtimes;
+  for (const auto& j : jobs) {
+    sum += j.dedicated_seconds;
+    runtimes.push_back(j.dedicated_seconds);
+  }
+  const double mean = sum / static_cast<double>(jobs.size());
+  std::nth_element(runtimes.begin(), runtimes.begin() + runtimes.size() / 2,
+                   runtimes.end());
+  const double median = runtimes[runtimes.size() / 2];
+  // Mixture of short and long Gammas: mean well above the median.
+  EXPECT_GT(mean, 1.5 * median);
+}
+
+TEST(LublinFeitelson, DailyCycleTroughAtNight) {
+  LublinFeitelsonConfig c;
+  c.mean_jobs_per_hour = 80;
+  c.span_seconds = 5 * sim::kDay;
+  const auto jobs = generate_lublin_feitelson(c);
+  std::size_t night = 0, day = 0;
+  for (const auto& j : jobs) {
+    const double hour = std::fmod(j.submit, sim::kDay) / sim::kHour;
+    if (hour >= 2 && hour < 6) ++night;   // around the 4 a.m. trough
+    if (hour >= 12 && hour < 16) ++day;
+    }
+  EXPECT_GT(day, 2 * night);
+}
+
+TEST(LublinFeitelson, BiggerJobsRunLonger) {
+  // The hyper-Gamma long branch is picked more often for larger jobs.
+  LublinFeitelsonConfig c;
+  c.mean_jobs_per_hour = 80;
+  const auto jobs = generate_lublin_feitelson(c);
+  double serial_sum = 0, big_sum = 0;
+  std::size_t serial_n = 0, big_n = 0;
+  for (const auto& j : jobs) {
+    if (j.cpu_pct == 100.0) {
+      serial_sum += j.dedicated_seconds;
+      ++serial_n;
+    } else if (j.cpu_pct == 400.0) {
+      big_sum += j.dedicated_seconds;
+      ++big_n;
+    }
+  }
+  ASSERT_GT(serial_n, 50u);
+  ASSERT_GT(big_n, 50u);
+  EXPECT_GT(big_sum / big_n, serial_sum / serial_n);
+}
+
+TEST(LublinFeitelson, DrivesAFullSimulation) {
+  LublinFeitelsonConfig c;
+  c.span_seconds = sim::kDay;
+  c.mean_jobs_per_hour = 8;
+  const auto jobs = generate_lublin_feitelson(c);
+  ASSERT_FALSE(jobs.empty());
+  experiments::RunConfig config;
+  config.datacenter.hosts = experiments::evaluation_hosts(3, 8, 5);
+  config.policy = "SB";
+  config.horizon_s = 60 * sim::kDay;
+  const auto res = experiments::run_experiment(jobs, std::move(config));
+  EXPECT_EQ(res.jobs_finished, jobs.size());
+  EXPECT_GT(res.report.satisfaction, 90.0);
+}
+
+}  // namespace
+}  // namespace easched::workload

@@ -1,0 +1,134 @@
+// Tests for the time-weighted accumulators and run reports.
+#include <gtest/gtest.h>
+
+#include "metrics/report.hpp"
+
+namespace easched::metrics {
+namespace {
+
+TEST(TimeWeighted, IntegralOfConstantSignal) {
+  TimeWeighted tw;
+  tw.set(0, 5.0);
+  EXPECT_DOUBLE_EQ(tw.integral(10), 50.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantExact) {
+  TimeWeighted tw;
+  tw.set(0, 1.0);
+  tw.set(10, 3.0);   // 10 * 1
+  tw.set(15, 0.0);   // + 5 * 3
+  EXPECT_DOUBLE_EQ(tw.integral(100), 25.0);
+}
+
+TEST(TimeWeighted, AverageOverWindow) {
+  TimeWeighted tw;
+  tw.set(0, 2.0);
+  tw.set(5, 4.0);
+  EXPECT_DOUBLE_EQ(tw.average(10), 3.0);
+}
+
+TEST(TimeWeighted, AverageBeforeAnySetIsZero) {
+  TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.average(100), 0.0);
+  EXPECT_DOUBLE_EQ(tw.integral(100), 0.0);
+}
+
+TEST(TimeWeighted, ZeroLengthWindowAverage) {
+  TimeWeighted tw;
+  tw.set(5, 7.0);
+  EXPECT_DOUBLE_EQ(tw.average(5), 0.0);
+}
+
+TEST(TimeWeighted, RepeatedSetsAtSameInstant) {
+  TimeWeighted tw;
+  tw.set(0, 1.0);
+  tw.set(10, 2.0);
+  tw.set(10, 5.0);  // overrides with zero elapsed time
+  EXPECT_DOUBLE_EQ(tw.integral(20), 10.0 + 50.0);
+}
+
+TEST(TimeWeighted, CurrentReflectsLastValue) {
+  TimeWeighted tw;
+  tw.set(0, 1.0);
+  tw.set(3, 9.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 9.0);
+}
+
+TEST(PerHostMeter, TotalTracksSumOfHosts) {
+  PerHostMeter m(3);
+  m.set(0, 0, 100.0);
+  m.set(0, 1, 50.0);
+  m.set(10, 0, 0.0);
+  // host0: 100 for 10 s; host1: 50 for 20 s.
+  EXPECT_DOUBLE_EQ(m.host_integral(0, 20), 1000.0);
+  EXPECT_DOUBLE_EQ(m.host_integral(1, 20), 1000.0);
+  EXPECT_DOUBLE_EQ(m.total_integral(20), 2000.0);
+  EXPECT_DOUBLE_EQ(m.total_current(), 50.0);
+}
+
+TEST(PerHostMeter, UntouchedHostsContributeNothing) {
+  PerHostMeter m(4);
+  m.set(0, 2, 10.0);
+  EXPECT_DOUBLE_EQ(m.host_integral(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_integral(5), 50.0);
+}
+
+TEST(JobLog, Aggregates) {
+  JobLog log;
+  log.add({0, 0, 100, 80, 120, 100.0, 25.0});
+  log.add({1, 0, 100, 80, 120, 50.0, 75.0});
+  EXPECT_EQ(log.count(), 2u);
+  EXPECT_DOUBLE_EQ(log.mean_satisfaction(), 75.0);
+  EXPECT_DOUBLE_EQ(log.mean_delay_pct(), 50.0);
+}
+
+TEST(JobLog, EmptyAggregatesAreZero) {
+  JobLog log;
+  EXPECT_DOUBLE_EQ(log.mean_satisfaction(), 0.0);
+  EXPECT_DOUBLE_EQ(log.mean_delay_pct(), 0.0);
+}
+
+TEST(Recorder, EnergyAndCpuConversions) {
+  Recorder rec(2);
+  rec.watts.set(0, 0, 230.0);
+  rec.watts.set(0, 1, 230.0);
+  // Two hosts at 230 W for one hour = 0.46 kWh.
+  EXPECT_NEAR(rec.energy_kwh(3600), 0.46, 1e-12);
+
+  rec.cpu_pct.set(0, 0, 400.0);
+  // 4 cores for one hour = 4 core-hours.
+  EXPECT_NEAR(rec.cpu_core_hours(3600), 4.0, 1e-12);
+}
+
+TEST(Report, CollectsAllColumns) {
+  Recorder rec(1);
+  rec.watts.set(0, 0, 1000.0);
+  rec.cpu_pct.set(0, 0, 100.0);
+  rec.working.set(0, 1);
+  rec.online.set(0, 2);
+  rec.jobs.add({0, 0, 50, 40, 60, 90.0, 10.0});
+  rec.counts.migrations = 7;
+
+  const auto r = make_report(rec, 3600, "XX", 0.3, 0.9);
+  EXPECT_EQ(r.policy, "XX");
+  EXPECT_DOUBLE_EQ(r.lambda_min, 0.3);
+  EXPECT_DOUBLE_EQ(r.energy_kwh, 1.0);
+  EXPECT_DOUBLE_EQ(r.cpu_hours, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_working, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_online, 2.0);
+  EXPECT_DOUBLE_EQ(r.satisfaction, 90.0);
+  EXPECT_DOUBLE_EQ(r.delay_pct, 10.0);
+  EXPECT_EQ(r.migrations, 7u);
+  EXPECT_EQ(r.jobs_finished, 1u);
+}
+
+TEST(Report, ToStringMentionsPolicyAndUnits) {
+  Recorder rec(1);
+  const auto r = make_report(rec, 100, "SB", 0.3, 0.9);
+  const auto text = r.to_string();
+  EXPECT_NE(text.find("SB"), std::string::npos);
+  EXPECT_NE(text.find("kWh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easched::metrics

@@ -1,0 +1,169 @@
+// Tests for the individual score penalties against the paper's equations
+// (section III-A).
+#include <gtest/gtest.h>
+
+#include "core/penalties.hpp"
+
+namespace easched::core {
+namespace {
+
+// ---- Preq (III-A.1) ---------------------------------------------------------
+
+TEST(Preq, InfinityWhenIncompatible) {
+  EXPECT_TRUE(is_inf_score(p_req(false)));
+  EXPECT_DOUBLE_EQ(p_req(true), 0.0);
+}
+
+// ---- Pres (III-A.2) ---------------------------------------------------------
+
+TEST(Pres, InfinityAboveFullOccupation) {
+  EXPECT_TRUE(is_inf_score(p_res(1.01)));
+  EXPECT_DOUBLE_EQ(p_res(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p_res(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p_res(0.999), 0.0);
+}
+
+// ---- Pm / Pvirt (III-A.3) ---------------------------------------------------
+
+TEST(Pm, DoubleCostWhenAboutToFinish) {
+  // Tr < Cm: migrating a nearly-done VM costs 2*Cm.
+  EXPECT_DOUBLE_EQ(p_migration(60.0, 30.0), 120.0);
+  EXPECT_DOUBLE_EQ(p_migration(60.0, -100.0), 120.0);  // overdue job
+}
+
+TEST(Pm, DecaysWithRemainingTime) {
+  // Tr >= Cm: Cm^2/(2*Tr); halves when Tr doubles.
+  EXPECT_DOUBLE_EQ(p_migration(60.0, 60.0), 30.0);
+  EXPECT_DOUBLE_EQ(p_migration(60.0, 120.0), 15.0);
+  EXPECT_DOUBLE_EQ(p_migration(60.0, 3600.0), 0.5);
+}
+
+TEST(Pm, ContinuousExceptAtBranchPoint) {
+  // At Tr = Cm the formula jumps from 2*Cm to Cm/2 (the paper's piecewise
+  // definition); verify both sides.
+  const double just_below = p_migration(40.0, 39.999);
+  const double at = p_migration(40.0, 40.0);
+  EXPECT_DOUBLE_EQ(just_below, 80.0);
+  EXPECT_DOUBLE_EQ(at, 20.0);
+}
+
+TEST(Pvirt, ZeroWhenAlreadyHome) {
+  EXPECT_DOUBLE_EQ(p_virt(true, false, false, 40.0, 15.0), 0.0);
+}
+
+TEST(Pvirt, InfinityWhileOperationInFlight) {
+  EXPECT_TRUE(is_inf_score(p_virt(false, true, false, 40.0, 15.0)));
+}
+
+TEST(Pvirt, CreationCostForNewVm) {
+  EXPECT_DOUBLE_EQ(p_virt(false, false, true, 40.0, 15.0), 40.0);
+}
+
+TEST(Pvirt, MigrationTermOtherwise) {
+  EXPECT_DOUBLE_EQ(p_virt(false, false, false, 40.0, 15.0), 15.0);
+}
+
+// ---- Pconc (III-A.3) --------------------------------------------------------
+
+TEST(Pconc, ZeroWhenHome) {
+  EXPECT_DOUBLE_EQ(p_conc(true, 120.0), 0.0);
+}
+
+TEST(Pconc, SumsRemainingOperationCosts) {
+  EXPECT_DOUBLE_EQ(p_conc(false, 120.0), 120.0);
+  EXPECT_DOUBLE_EQ(p_conc(false, 0.0), 0.0);
+}
+
+// ---- Ppwr (III-A.4) ---------------------------------------------------------
+
+TEST(Ppwr, EmptyHostPenalised) {
+  // #VM <= THempty: Tempty = 1 -> Ce - O*Cf.
+  EXPECT_DOUBLE_EQ(p_pwr(0, 1, 20.0, 0.25, 40.0), 20.0 - 10.0);
+  EXPECT_DOUBLE_EQ(p_pwr(1, 1, 20.0, 0.5, 40.0), 0.0);
+}
+
+TEST(Ppwr, PopulatedHostRewardedByOccupation) {
+  // #VM > THempty: pure -O*Cf reward.
+  EXPECT_DOUBLE_EQ(p_pwr(2, 1, 20.0, 0.75, 40.0), -30.0);
+  EXPECT_DOUBLE_EQ(p_pwr(5, 1, 20.0, 1.0, 40.0), -40.0);
+}
+
+TEST(Ppwr, FullerHostsScoreLower) {
+  // The consolidation gradient: more occupation -> lower (better) score.
+  EXPECT_LT(p_pwr(3, 1, 20.0, 0.9, 40.0), p_pwr(3, 1, 20.0, 0.4, 40.0));
+}
+
+TEST(Ppwr, EvaluationConstants) {
+  // Section V: THempty = 1, Cempty = 20, Cfill = 40. A host with one VM at
+  // occupation 0.25 scores 20 - 10 = 10 (punished); a host with three VMs
+  // at 0.9 scores -36 (attractive).
+  EXPECT_DOUBLE_EQ(p_pwr(1, 1, 20.0, 0.25, 40.0), 10.0);
+  EXPECT_DOUBLE_EQ(p_pwr(3, 1, 20.0, 0.9, 40.0), -36.0);
+}
+
+TEST(Ppwr, ZeroCostsDisableTerm) {
+  EXPECT_DOUBLE_EQ(p_pwr(0, 1, 0.0, 0.9, 0.0), 0.0);
+}
+
+// ---- PSLA (III-A.5) ---------------------------------------------------------
+
+TEST(Psla, ZeroAtFullFulfilment) {
+  EXPECT_DOUBLE_EQ(p_sla(1.0, 0.5, 100.0), 0.0);
+}
+
+TEST(Psla, FlatCostInTheRecoverableBand) {
+  EXPECT_DOUBLE_EQ(p_sla(0.9, 0.5, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(p_sla(0.51, 0.5, 100.0), 100.0);
+}
+
+TEST(Psla, SoftInfinityBelowThreshold) {
+  const double s = p_sla(0.5, 0.5, 100.0);
+  EXPECT_GE(s, kSoftInfScore);
+  // Soft infinity must stay below the hard infinity so a hopeless VM still
+  // beats staying in the queue (regression: queued VMs starved forever).
+  EXPECT_FALSE(is_inf_score(s));
+  EXPECT_LT(s, kInfScore);
+}
+
+// ---- Pfault (III-A.6) -------------------------------------------------------
+
+TEST(Pfault, ZeroForPerfectlyReliableHost) {
+  EXPECT_DOUBLE_EQ(p_fault(1.0, 0.0, 200.0), 0.0);
+}
+
+TEST(Pfault, ScalesWithFailureProbability) {
+  EXPECT_DOUBLE_EQ(p_fault(0.9, 0.0, 200.0), 20.0);
+  EXPECT_DOUBLE_EQ(p_fault(0.5, 0.0, 200.0), 100.0);
+}
+
+TEST(Pfault, ToleranceOffsetsAndMayGoNegative) {
+  // The paper keeps the formula signed: a VM tolerating more unavailability
+  // than the host exhibits yields a negative (rewarding) term.
+  EXPECT_NEAR(p_fault(0.9, 0.1, 200.0), 0.0, 1e-9);
+  EXPECT_NEAR(p_fault(0.95, 0.1, 200.0), -10.0, 1e-9);
+}
+
+TEST(Pfault, MoreReliableHostAlwaysPreferable) {
+  for (double tol : {0.0, 0.05, 0.2}) {
+    EXPECT_LT(p_fault(0.99, tol, 200.0), p_fault(0.9, tol, 200.0));
+  }
+}
+
+// ---- score constants --------------------------------------------------------
+
+TEST(ScoreConstants, InfinityDetection) {
+  EXPECT_TRUE(is_inf_score(kInfScore));
+  EXPECT_TRUE(is_inf_score(kInfScore * 2));
+  EXPECT_FALSE(is_inf_score(kSoftInfScore));
+  EXPECT_FALSE(is_inf_score(0.0));
+  EXPECT_FALSE(is_inf_score(-1e9));
+}
+
+TEST(ScoreConstants, InfinityArithmeticStaysOrdered) {
+  // The sentinel keeps inf - inf == 0 (the reason it is not IEEE inf).
+  EXPECT_DOUBLE_EQ(kInfScore - kInfScore, 0.0);
+  EXPECT_TRUE(is_inf_score(kInfScore + 100.0));
+}
+
+}  // namespace
+}  // namespace easched::core

@@ -1,0 +1,358 @@
+// Tests for the baseline policies (RD, RR, BF, DBF) and the score-based
+// policy's action generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/score_based_policy.hpp"
+#include "policies/backfilling.hpp"
+#include "policies/dynamic_backfilling.hpp"
+#include "policies/placement_common.hpp"
+#include "policies/random_policy.hpp"
+#include "policies/round_robin.hpp"
+#include "test_fixtures.hpp"
+
+namespace easched::policies {
+namespace {
+
+using datacenter::HostId;
+using datacenter::VmId;
+using datacenter::VmState;
+using sched::Action;
+using easched::testing::SmallDc;
+using easched::testing::make_job;
+
+struct PolicyHarness : SmallDc {
+  support::Rng rng{123};
+  explicit PolicyHarness(std::size_t n = 4,
+                         datacenter::DatacenterConfig base = {})
+      : SmallDc(n, std::move(base)) {}
+
+  std::vector<Action> run_policy(sched::Policy& policy,
+                                 std::vector<VmId> queue) {
+    sched::SchedContext ctx{dc, queue, rng};
+    return policy.schedule(ctx);
+  }
+};
+
+// ---- helpers ---------------------------------------------------------------
+
+TEST(PlacementCommon, OnHostsFiltersStates) {
+  PolicyHarness f(3);
+  f.dc.power_off(1);
+  EXPECT_EQ(on_hosts(f.dc).size(), 2u);
+  f.simulator.run_until(20.0);
+  EXPECT_EQ(on_hosts(f.dc), (std::vector<HostId>{0, 2}));
+}
+
+TEST(PlacementCommon, BestFitPicksTightestHost) {
+  PolicyHarness f(3);
+  f.admit_and_place(make_job(200, 512, 10000), 1);
+  f.simulator.run_until(100.0);
+  const VmId v = f.dc.admit_job(make_job(100, 512));
+  // Host 1 at 50 % CPU is the tightest feasible fit.
+  EXPECT_EQ(best_fit_host(f.dc, v), 1u);
+}
+
+TEST(PlacementCommon, BestFitReturnsNoHostWhenNothingFits) {
+  PolicyHarness f(1);
+  f.admit_and_place(make_job(400, 512, 10000), 0);
+  f.simulator.run_until(100.0);
+  const VmId v = f.dc.admit_job(make_job(100, 512));
+  EXPECT_EQ(best_fit_host(f.dc, v), datacenter::kNoHost);
+}
+
+// ---- Random ----------------------------------------------------------------
+
+TEST(RandomPolicy, PlacesEveryQueuedVmSomewhereValid) {
+  PolicyHarness f(4);
+  RandomPolicy policy;
+  std::vector<VmId> queue;
+  for (int i = 0; i < 8; ++i) queue.push_back(f.dc.admit_job(make_job()));
+  const auto actions = f.run_policy(policy, queue);
+  EXPECT_EQ(actions.size(), 8u);
+  for (const auto& a : actions) {
+    EXPECT_EQ(a.kind, Action::Kind::kPlace);
+    EXPECT_LT(a.host, 4u);
+  }
+}
+
+TEST(RandomPolicy, SpreadsAcrossHosts) {
+  PolicyHarness f(4);
+  RandomPolicy policy;
+  std::vector<VmId> queue;
+  for (int i = 0; i < 40; ++i)
+    queue.push_back(f.dc.admit_job(make_job(100, 50)));
+  const auto actions = f.run_policy(policy, queue);
+  std::set<HostId> used;
+  for (const auto& a : actions) used.insert(a.host);
+  EXPECT_EQ(used.size(), 4u);  // with 40 draws all 4 hosts get hit
+}
+
+TEST(RandomPolicy, OversubscribesCpuButNotMemory) {
+  PolicyHarness f(1);
+  f.admit_and_place(make_job(400, 3900, 10000), 0);
+  f.simulator.run_until(100.0);
+  RandomPolicy policy;
+  // CPU-heavy VM: placeable despite CPU saturation.
+  const VmId cpu_hungry = f.dc.admit_job(make_job(400, 100));
+  EXPECT_EQ(f.run_policy(policy, {cpu_hungry}).size(), 1u);
+  // Memory-heavy VM: not placeable.
+  const VmId mem_hungry = f.dc.admit_job(make_job(50, 1000));
+  EXPECT_TRUE(f.run_policy(policy, {mem_hungry}).empty());
+}
+
+TEST(RandomPolicy, NoOnlineHostsNoActions) {
+  PolicyHarness f(2);
+  f.dc.power_off(0);
+  f.dc.power_off(1);
+  f.simulator.run_until(20.0);
+  RandomPolicy policy;
+  const VmId v = f.dc.admit_job(make_job());
+  EXPECT_TRUE(f.run_policy(policy, {v}).empty());
+}
+
+// ---- Round Robin -----------------------------------------------------------
+
+TEST(RoundRobin, CyclesThroughHosts) {
+  PolicyHarness f(4);
+  RoundRobinPolicy policy;
+  std::vector<VmId> queue;
+  for (int i = 0; i < 4; ++i) queue.push_back(f.dc.admit_job(make_job()));
+  const auto actions = f.run_policy(policy, queue);
+  ASSERT_EQ(actions.size(), 4u);
+  std::set<HostId> used;
+  for (const auto& a : actions) used.insert(a.host);
+  EXPECT_EQ(used.size(), 4u);  // one per host
+}
+
+TEST(RoundRobin, ContinuesCursorAcrossRounds) {
+  PolicyHarness f(4);
+  RoundRobinPolicy policy;
+  const auto first = f.run_policy(policy, {f.dc.admit_job(make_job())});
+  const auto second = f.run_policy(policy, {f.dc.admit_job(make_job())});
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(first[0].host, second[0].host);
+}
+
+TEST(RoundRobin, SkipsMemoryFullHosts) {
+  PolicyHarness f(2);
+  f.admit_and_place(make_job(100, 4000, 10000), 0);
+  f.simulator.run_until(100.0);
+  RoundRobinPolicy policy;
+  std::vector<VmId> queue{f.dc.admit_job(make_job(100, 512)),
+                          f.dc.admit_job(make_job(100, 512))};
+  const auto actions = f.run_policy(policy, queue);
+  ASSERT_EQ(actions.size(), 2u);
+  for (const auto& a : actions) EXPECT_EQ(a.host, 1u);
+}
+
+TEST(RoundRobin, AccountsForWithinRoundMemory) {
+  PolicyHarness f(2);
+  RoundRobinPolicy policy;
+  // Two 3 GB VMs cannot share one 4 GB host even within a single round.
+  std::vector<VmId> queue{f.dc.admit_job(make_job(100, 3000)),
+                          f.dc.admit_job(make_job(100, 3000))};
+  const auto actions = f.run_policy(policy, queue);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_NE(actions[0].host, actions[1].host);
+}
+
+// ---- Backfilling -----------------------------------------------------------
+
+TEST(Backfilling, ConsolidatesOntoFewestHosts) {
+  PolicyHarness f(4);
+  BackfillingPolicy policy;
+  std::vector<VmId> queue;
+  for (int i = 0; i < 4; ++i)
+    queue.push_back(f.dc.admit_job(make_job(100, 512)));
+  const auto actions = f.run_policy(policy, queue);
+  ASSERT_EQ(actions.size(), 4u);
+  std::set<HostId> used;
+  for (const auto& a : actions) used.insert(a.host);
+  EXPECT_EQ(used.size(), 1u);  // all four 1-core VMs fit one 4-core host
+}
+
+TEST(Backfilling, NeverOversubscribes) {
+  PolicyHarness f(2);
+  BackfillingPolicy policy;
+  std::vector<VmId> queue;
+  for (int i = 0; i < 3; ++i)
+    queue.push_back(f.dc.admit_job(make_job(300, 512)));
+  const auto actions = f.run_policy(policy, queue);
+  // 3 x 300 % over 2 x 400 %: only two fit; the third waits.
+  EXPECT_EQ(actions.size(), 2u);
+  EXPECT_NE(actions[0].host, actions[1].host);
+}
+
+TEST(Backfilling, PrefersPartiallyFilledHost) {
+  PolicyHarness f(3);
+  f.admit_and_place(make_job(200, 512, 10000), 2);
+  f.simulator.run_until(100.0);
+  BackfillingPolicy policy;
+  const auto actions =
+      f.run_policy(policy, {f.dc.admit_job(make_job(100, 512))});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].host, 2u);
+}
+
+TEST(Backfilling, NoMigrationCapability) {
+  BackfillingPolicy policy;
+  EXPECT_FALSE(policy.uses_migration());
+  EXPECT_EQ(policy.name(), "BF");
+}
+
+// ---- Dynamic Backfilling ---------------------------------------------------
+
+TEST(DynamicBackfilling, EmitsMigrationsToEmptyDonorHost) {
+  PolicyHarness f(2);
+  // Host 0 nearly full, host 1 has one small VM: host 1 is the donor.
+  f.admit_and_place(make_job(200, 512, 50000), 0);
+  f.admit_and_place(make_job(100, 512, 50000), 0);
+  f.admit_and_place(make_job(100, 512, 50000), 1);
+  f.simulator.run_until(200.0);
+
+  DynamicBackfillingPolicy policy(4, /*consolidation_period_s=*/0);
+  const auto actions = f.run_policy(policy, {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].kind, Action::Kind::kMigrate);
+  EXPECT_EQ(actions[0].host, 0u);
+  EXPECT_TRUE(policy.uses_migration());
+}
+
+TEST(DynamicBackfilling, NoMigrationWhenDonorCannotEmpty) {
+  PolicyHarness f(2);
+  f.admit_and_place(make_job(300, 512, 50000), 0);
+  f.admit_and_place(make_job(200, 512, 50000), 1);
+  f.simulator.run_until(200.0);
+  DynamicBackfillingPolicy policy(4, 0);
+  // Moving the 200 % VM to host 0 would exceed 400 %; nothing moves.
+  EXPECT_TRUE(f.run_policy(policy, {}).empty());
+}
+
+TEST(DynamicBackfilling, PlacementTakesPriorityOverConsolidation) {
+  PolicyHarness f(2);
+  f.admit_and_place(make_job(100, 512, 50000), 1);
+  f.simulator.run_until(200.0);
+  DynamicBackfillingPolicy policy(4, 0);
+  const auto actions =
+      f.run_policy(policy, {f.dc.admit_job(make_job(100, 512))});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].kind, Action::Kind::kPlace);
+}
+
+TEST(DynamicBackfilling, RespectsConsolidationPeriod) {
+  PolicyHarness f(2);
+  f.admit_and_place(make_job(200, 512, 50000), 0);
+  f.admit_and_place(make_job(100, 512, 50000), 1);
+  f.simulator.run_until(200.0);
+  DynamicBackfillingPolicy policy(4, /*consolidation_period_s=*/1e9);
+  // First sweep runs (last_consolidation starts at -inf)...
+  EXPECT_EQ(f.run_policy(policy, {}).size(), 1u);
+  // ...but a second sweep within the period is suppressed.
+  EXPECT_TRUE(f.run_policy(policy, {}).empty());
+}
+
+// ---- Score-based policy ----------------------------------------------------
+
+TEST(ScoreBased, PlacesQueuedVms) {
+  PolicyHarness f(3);
+  core::ScoreBasedPolicy policy(core::ScoreBasedConfig::sb0());
+  std::vector<VmId> queue{f.dc.admit_job(make_job()),
+                          f.dc.admit_job(make_job())};
+  const auto actions = f.run_policy(policy, queue);
+  EXPECT_EQ(actions.size(), 2u);
+  for (const auto& a : actions) EXPECT_EQ(a.kind, Action::Kind::kPlace);
+}
+
+TEST(ScoreBased, ConsolidatesLikeBackfilling) {
+  PolicyHarness f(4);
+  core::ScoreBasedPolicy policy(core::ScoreBasedConfig::sb0());
+  std::vector<VmId> queue;
+  for (int i = 0; i < 4; ++i)
+    queue.push_back(f.dc.admit_job(make_job(100, 512)));
+  const auto actions = f.run_policy(policy, queue);
+  ASSERT_EQ(actions.size(), 4u);
+  std::set<HostId> used;
+  for (const auto& a : actions) used.insert(a.host);
+  EXPECT_EQ(used.size(), 1u);
+}
+
+TEST(ScoreBased, LeavesUnplaceableVmInQueue) {
+  PolicyHarness f(1);
+  f.admit_and_place(make_job(400, 512, 50000), 0);
+  f.simulator.run_until(100.0);
+  core::ScoreBasedPolicy policy(core::ScoreBasedConfig::sb0());
+  const auto actions =
+      f.run_policy(policy, {f.dc.admit_job(make_job(100, 512))});
+  EXPECT_TRUE(actions.empty());
+}
+
+TEST(ScoreBased, Sb1PrefersFastCreationHosts) {
+  datacenter::DatacenterConfig config;
+  config.hosts = {datacenter::HostSpec::slow(), datacenter::HostSpec::fast()};
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(2);
+  datacenter::Datacenter dc(simulator, config, recorder);
+  support::Rng rng{1};
+
+  const VmId v = dc.admit_job(make_job());
+  std::vector<VmId> queue{v};
+  sched::SchedContext ctx{dc, queue, rng};
+
+  core::ScoreBasedPolicy sb1(core::ScoreBasedConfig::sb1());
+  const auto actions = sb1.schedule(ctx);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].host, 1u);  // fast host: Cc 30 beats 60
+}
+
+TEST(ScoreBased, MigrationOnlyDuringConsolidationRounds) {
+  PolicyHarness f(2);
+  f.admit_and_place(make_job(200, 512, 50000), 0);
+  f.admit_and_place(make_job(100, 512, 50000), 1);
+  f.simulator.run_until(200.0);
+
+  auto config = core::ScoreBasedConfig::sb();
+  config.migration_period_s = 1e9;
+  config.min_migration_gain = 1.0;
+  core::ScoreBasedPolicy policy(config);
+  // First round consolidates; the second is inside the period.
+  const auto first = f.run_policy(policy, {});
+  const auto second = f.run_policy(policy, {});
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(second.empty());
+  for (const auto& a : first) EXPECT_EQ(a.kind, Action::Kind::kMigrate);
+}
+
+TEST(ScoreBased, ChoosePowerOffPrefersWorstOverheads) {
+  datacenter::DatacenterConfig config;
+  config.hosts = {datacenter::HostSpec::fast(), datacenter::HostSpec::slow()};
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(2);
+  datacenter::Datacenter dc(simulator, config, recorder);
+  support::Rng rng{1};
+  std::vector<VmId> queue;
+  sched::SchedContext ctx{dc, queue, rng};
+
+  core::ScoreBasedPolicy policy(core::ScoreBasedConfig::sb());
+  const auto chosen = policy.choose_power_off(ctx, {0, 1});
+  EXPECT_EQ(chosen, 1u);  // slow node sheds first
+}
+
+TEST(ScoreBased, VariantLabelsAndFlags) {
+  EXPECT_EQ(core::ScoreBasedConfig::sb0().label, "SB0");
+  EXPECT_FALSE(core::ScoreBasedConfig::sb0().params.use_virt);
+  EXPECT_TRUE(core::ScoreBasedConfig::sb1().params.use_virt);
+  EXPECT_FALSE(core::ScoreBasedConfig::sb1().params.use_conc);
+  EXPECT_TRUE(core::ScoreBasedConfig::sb2().params.use_conc);
+  EXPECT_FALSE(core::ScoreBasedConfig::sb2().migration);
+  EXPECT_TRUE(core::ScoreBasedConfig::sb().migration);
+  EXPECT_TRUE(core::ScoreBasedConfig::sb_full().params.use_sla);
+  EXPECT_TRUE(core::ScoreBasedConfig::sb_full().params.use_fault);
+}
+
+}  // namespace
+}  // namespace easched::policies

@@ -1,0 +1,95 @@
+// Unit and property tests for the Table-I power model.
+#include <gtest/gtest.h>
+
+#include "datacenter/power_model.hpp"
+
+namespace easched::datacenter {
+namespace {
+
+TEST(PowerModel, Table1BreakpointsExact) {
+  const PowerModel m = PowerModel::table1();
+  EXPECT_DOUBLE_EQ(m.watts_on(0, 400), 230.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(100, 400), 259.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(200, 400), 273.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(300, 400), 291.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(400, 400), 304.0);
+}
+
+TEST(PowerModel, InterpolatesBetweenBreakpoints) {
+  const PowerModel m = PowerModel::table1();
+  // Halfway between 0 and 100 % of one core: (230+259)/2.
+  EXPECT_DOUBLE_EQ(m.watts_on(50, 400), 244.5);
+  EXPECT_DOUBLE_EQ(m.watts_on(350, 400), 297.5);
+}
+
+TEST(PowerModel, ScalesWithCapacity) {
+  const PowerModel m = PowerModel::table1();
+  // Utilisation is what matters: 50 of 200 == 100 of 400 == 25 %.
+  EXPECT_DOUBLE_EQ(m.watts_on(50, 200), m.watts_on(100, 400));
+}
+
+TEST(PowerModel, ClampsAboveCapacity) {
+  const PowerModel m = PowerModel::table1();
+  EXPECT_DOUBLE_EQ(m.watts_on(1000, 400), 304.0);
+}
+
+TEST(PowerModel, ClampsNegativeUsage) {
+  const PowerModel m = PowerModel::table1();
+  EXPECT_DOUBLE_EQ(m.watts_on(-5, 400), 230.0);
+}
+
+TEST(PowerModel, IdleAndAuxiliaryStates) {
+  const PowerModel m = PowerModel::table1();
+  EXPECT_DOUBLE_EQ(m.watts_idle(), 230.0);
+  EXPECT_DOUBLE_EQ(m.watts_off(), 10.0);
+  EXPECT_DOUBLE_EQ(m.watts_boot(), 230.0);
+}
+
+TEST(PowerModel, TurningOffSavesMoreThan200W) {
+  // Section III: "turn off idle machines, which saves more than 200W".
+  const PowerModel m = PowerModel::table1();
+  EXPECT_GT(m.watts_idle() - m.watts_off(), 200.0);
+}
+
+TEST(PowerModel, ConstantModelIgnoresLoad) {
+  const PowerModel m = PowerModel::constant(250.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(0, 400), 250.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(400, 400), 250.0);
+  EXPECT_DOUBLE_EQ(m.watts_idle(), 250.0);
+}
+
+TEST(PowerModel, CustomBreakpoints) {
+  const PowerModel m({{0.0, 100.0}, {1.0, 200.0}}, 5.0, 100.0);
+  EXPECT_DOUBLE_EQ(m.watts_on(200, 400), 150.0);
+  EXPECT_DOUBLE_EQ(m.watts_off(), 5.0);
+}
+
+/// Property: power is monotonically non-decreasing in utilisation.
+class PowerMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerMonotonic, NonDecreasing) {
+  const PowerModel m = PowerModel::table1();
+  const double capacity = GetParam();
+  double last = -1;
+  for (double u = 0; u <= capacity; u += capacity / 64) {
+    const double w = m.watts_on(u, capacity);
+    EXPECT_GE(w, last);
+    last = w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PowerMonotonic,
+                         ::testing::Values(100.0, 200.0, 400.0, 800.0));
+
+/// Property: energy proportionality of the Table-I curve — the dynamic
+/// range (max-idle) is a modest fraction of idle, as the paper laments
+/// ("idle wattage level should be decreased in the industry").
+TEST(PowerModel, DynamicRangeIsSmallerThanIdle) {
+  const PowerModel m = PowerModel::table1();
+  const double dynamic = m.watts_on(400, 400) - m.watts_idle();
+  EXPECT_LT(dynamic, m.watts_idle());
+  EXPECT_NEAR(dynamic, 74.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace easched::datacenter

@@ -1,0 +1,118 @@
+// Unit tests for the deterministic xoshiro256** engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace easched::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng{0};
+  // SplitMix64 seeding must not produce the all-zero (absorbing) state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 16; ++i) any_nonzero |= rng() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng{7};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.5);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng{9};
+  EXPECT_DOUBLE_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42u);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossBuckets) {
+  Rng rng{13};
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 9)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{21};
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a{33}, b{33};
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+TEST(Rng, BitsLookBalanced) {
+  Rng rng{55};
+  int ones = 0;
+  const int words = 10000;
+  for (int i = 0; i < words; ++i) ones += __builtin_popcountll(rng());
+  // Expect about 32 bits set per 64-bit word.
+  EXPECT_NEAR(static_cast<double>(ones) / words, 32.0, 0.5);
+}
+
+}  // namespace
+}  // namespace easched::support

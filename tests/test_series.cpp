@@ -1,0 +1,70 @@
+// Tests for the time-series sampler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/series.hpp"
+
+namespace easched::metrics {
+namespace {
+
+TEST(Series, SamplesAtFixedCadence) {
+  sim::Simulator simulator;
+  SeriesRecorder series(simulator, 10.0);
+  double signal = 1.0;
+  series.add_channel("signal", [&] { return signal; });
+  simulator.at(15.0, [&] { signal = 2.0; });
+  simulator.at(100.0, [] {});  // keeps events flowing
+  simulator.run_until(45.0);
+  ASSERT_EQ(series.num_samples(), 4u);  // t = 10, 20, 30, 40
+  EXPECT_DOUBLE_EQ(series.times()[0], 10.0);
+  EXPECT_DOUBLE_EQ(series.channel(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(series.channel(0)[1], 2.0);
+}
+
+TEST(Series, MultipleChannelsStayAligned) {
+  sim::Simulator simulator;
+  SeriesRecorder series(simulator, 5.0);
+  series.add_channel("t", [&] { return simulator.now(); });
+  series.add_channel("2t", [&] { return 2.0 * simulator.now(); });
+  simulator.run_until(20.0);
+  ASSERT_EQ(series.num_channels(), 2u);
+  ASSERT_EQ(series.num_samples(), 4u);
+  for (std::size_t i = 0; i < series.num_samples(); ++i) {
+    EXPECT_DOUBLE_EQ(series.channel(1)[i], 2.0 * series.channel(0)[i]);
+  }
+  EXPECT_EQ(series.channel_name(0), "t");
+  EXPECT_EQ(series.channel_name(1), "2t");
+}
+
+TEST(Series, CsvOutputWellFormed) {
+  sim::Simulator simulator;
+  SeriesRecorder series(simulator, 1.0);
+  series.add_channel("watts", [] { return 230.0; });
+  simulator.run_until(3.0);
+  std::ostringstream out;
+  series.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t_s,watts");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(Series, DestructorCancelsSampling) {
+  sim::Simulator simulator;
+  {
+    SeriesRecorder series(simulator, 1.0);
+    series.add_channel("x", [] { return 0.0; });
+  }
+  // With the recorder gone its periodic task must not keep the queue
+  // alive (run() would otherwise never return).
+  simulator.at(5.0, [] {});
+  simulator.run();
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+}
+
+}  // namespace
+}  // namespace easched::metrics

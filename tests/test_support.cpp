@@ -1,0 +1,159 @@
+// Unit tests for CSV emission, table rendering and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace easched::support {
+namespace {
+
+// ---- CSV -------------------------------------------------------------------
+
+TEST(Csv, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, NewlineTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, RowJoinsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b,c", "d"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(Csv, NumericRowRoundTrips) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.numeric_row({1.5, -2.25, 1e-12});
+  std::istringstream in(out.str());
+  std::string field;
+  std::getline(in, field, ',');
+  EXPECT_DOUBLE_EQ(std::stod(field), 1.5);
+  std::getline(in, field, ',');
+  EXPECT_DOUBLE_EQ(std::stod(field), -2.25);
+  std::getline(in, field);
+  EXPECT_DOUBLE_EQ(std::stod(field), 1e-12);
+}
+
+// ---- TextTable -------------------------------------------------------------
+
+TEST(TextTable, RendersHeaderRule) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, PadsColumnsToWidest) {
+  TextTable t;
+  t.header({"col", "x"});
+  t.add_row({"longer-cell", "1"});
+  const std::string out = t.render();
+  // Header line must be as wide as the body line (trailing spaces trimmed,
+  // so compare the position of the second column).
+  const auto header_line = out.substr(0, out.find('\n'));
+  EXPECT_GE(header_line.size(), std::string("col").size());
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.add_row({"x", "7"});
+  const std::string out = t.render();
+  // "7" must be right-aligned under "value": it appears at the line end.
+  const auto last_line_start = out.rfind('\n', out.size() - 2);
+  const std::string last = out.substr(last_line_start + 1);
+  EXPECT_EQ(last.back(), '\n');
+  EXPECT_EQ(last[last.size() - 2], '7');
+}
+
+TEST(TextTable, NumFormatsDecimals) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.05, 1), "-1.1");
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+// ---- CliArgs ---------------------------------------------------------------
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--policy", "SB", "--seed", "42"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get("policy", ""), "SB");
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  const char* argv[] = {"prog", "--lmin=0.4"};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("lmin", 0), 0.4);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--csv"};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_TRUE(args.has("csv"));
+}
+
+TEST(Cli, MissingKeyYieldsFallback) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get("absent", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("absent", -3), -3);
+  EXPECT_FALSE(args.get_bool("absent", false));
+  EXPECT_FALSE(args.has("absent"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "generate", "--out", "x.swf", "extra"};
+  CliArgs args(5, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "generate");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a", "yes", "--b", "off", "--c", "1"};
+  CliArgs args(7, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+TEST(Cli, FlagFollowedByFlag) {
+  const char* argv[] = {"prog", "--csv", "--fast"};
+  CliArgs args(3, argv);
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_TRUE(args.get_bool("fast", false));
+}
+
+}  // namespace
+}  // namespace easched::support

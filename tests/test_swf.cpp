@@ -1,0 +1,154 @@
+// Tests for Standard Workload Format reading/writing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace easched::workload {
+namespace {
+
+TEST(Swf, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "; comment header\n"
+      "\n"
+      "   ; indented comment\n"
+      "1 100 -1 3600 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].dedicated_seconds, 3600.0);
+  EXPECT_DOUBLE_EQ(jobs[0].cpu_pct, 200.0);
+}
+
+TEST(Swf, ShiftsSubmitTimesToZero) {
+  std::istringstream in(
+      "1 1000 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 1500 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[1].submit, 500.0);
+}
+
+TEST(Swf, SkipsCancelledAndBrokenJobs) {
+  std::istringstream in(
+      "1 100 -1 -1 1 -1 -1 1 -1 -1 0 -1 -1 -1 -1 -1 -1 -1\n"   // runtime -1
+      "2 100 -1 600 -1 -1 -1 -1 -1 -1 0 -1 -1 -1 -1 -1 -1 -1\n"  // no procs
+      "3 -5 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"   // submit < 0
+      "4 100 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+}
+
+TEST(Swf, DropsSubMinimumRuntimes) {
+  SwfOptions opts;
+  opts.min_runtime_s = 30;
+  std::istringstream in(
+      "1 0 -1 10 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 31 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_EQ(read_swf(in, opts).size(), 1u);
+}
+
+TEST(Swf, ClampsCpuToMax) {
+  std::istringstream in(
+      "1 0 -1 600 64 -1 -1 64 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].cpu_pct, 400.0);
+}
+
+TEST(Swf, UsesRequestedProcsWhenAllocatedMissing) {
+  std::istringstream in(
+      "1 0 -1 600 -1 -1 -1 3 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].cpu_pct, 300.0);
+}
+
+TEST(Swf, MemoryFromField10PerProcKb) {
+  // Field 10 = requested memory in KB per processor.
+  std::istringstream in(
+      "1 0 -1 600 2 -1 -1 2 -1 524288 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].mem_mb, 1024.0);
+}
+
+TEST(Swf, DefaultMemoryWhenAbsent) {
+  SwfOptions opts;
+  opts.default_mem_mb = 333;
+  std::istringstream in(
+      "1 0 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in, opts);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].mem_mb, 333.0);
+}
+
+TEST(Swf, DeadlineFactorsInConfiguredRangeAndDeterministic) {
+  std::ostringstream trace;
+  for (int i = 0; i < 50; ++i) {
+    trace << i + 1 << " " << i * 10
+          << " -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+  std::istringstream in1(trace.str()), in2(trace.str());
+  const auto a = read_swf(in1);
+  const auto b = read_swf(in2);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].deadline_factor, 1.2);
+    EXPECT_LE(a[i].deadline_factor, 2.0);
+    EXPECT_DOUBLE_EQ(a[i].deadline_factor, b[i].deadline_factor);
+  }
+}
+
+TEST(Swf, ThrowsOnMalformedLine) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(Swf, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), std::runtime_error);
+}
+
+TEST(Swf, SortsOutOfOrderSubmits) {
+  std::istringstream in(
+      "1 500 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 -1 600 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto jobs = read_swf(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LE(jobs[0].submit, jobs[1].submit);
+  EXPECT_EQ(jobs[0].id, 0u);
+  EXPECT_EQ(jobs[1].id, 1u);
+}
+
+TEST(Swf, WriteReadRoundTripPreservesEssentials) {
+  SyntheticConfig c;
+  c.span_seconds = sim::kDay;
+  const auto original = generate(c);
+  ASSERT_FALSE(original.empty());
+
+  std::stringstream buffer;
+  write_swf(buffer, original);
+  const auto reread = read_swf(buffer);
+
+  ASSERT_EQ(reread.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(reread[i].submit, original[i].submit - original[0].submit,
+                1e-6);
+    EXPECT_NEAR(reread[i].dedicated_seconds, original[i].dedicated_seconds,
+                1e-6);
+    // CPU is quantised to whole processors in SWF; 50 % becomes 100 %.
+    EXPECT_GE(reread[i].cpu_pct, original[i].cpu_pct - 1e-9);
+  }
+}
+
+TEST(Swf, WrittenTraceHasHeaderComment) {
+  std::ostringstream out;
+  write_swf(out, {});
+  EXPECT_EQ(out.str().rfind(";", 0), 0u);  // first line is a comment
+  EXPECT_NE(out.str().find("easched"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easched::workload

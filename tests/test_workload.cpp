@@ -1,0 +1,232 @@
+// Tests for the synthetic workload generator, stats and satisfaction metric.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/satisfaction.hpp"
+#include "workload/synthetic.hpp"
+
+namespace easched::workload {
+namespace {
+
+// ---- satisfaction (the paper's S metric, section V) -------------------------
+
+TEST(Satisfaction, FullWhenOnTime) {
+  EXPECT_DOUBLE_EQ(satisfaction(99.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(satisfaction(0.0, 100.0), 100.0);
+}
+
+TEST(Satisfaction, LinearDecayPastDeadline) {
+  EXPECT_DOUBLE_EQ(satisfaction(150.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(satisfaction(125.0, 100.0), 75.0);
+}
+
+TEST(Satisfaction, ZeroAtTwiceDeadline) {
+  EXPECT_DOUBLE_EQ(satisfaction(200.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(satisfaction(500.0, 100.0), 0.0);
+}
+
+TEST(Satisfaction, PaperExample) {
+  // "a job with a factor of 1.5 that takes 100 minutes ... will have a
+  // deadline of 150 minutes. If it would take more than 300 minutes ...
+  // satisfaction of 0% and a delay of 200%."
+  const double deadline = 150.0;
+  EXPECT_DOUBLE_EQ(satisfaction(300.0, deadline), 0.0);
+  EXPECT_DOUBLE_EQ(delay_pct(300.0, 100.0), 200.0);
+}
+
+TEST(Satisfaction, ExactDeadlineBoundary) {
+  // Texec == Tdead falls in the >= branch with zero overrun -> 100.
+  EXPECT_DOUBLE_EQ(satisfaction(100.0, 100.0), 100.0);
+}
+
+TEST(Delay, ZeroWhenFasterThanDedicated) {
+  EXPECT_DOUBLE_EQ(delay_pct(90.0, 100.0), 0.0);
+}
+
+TEST(Delay, PercentOfDedicated) {
+  EXPECT_DOUBLE_EQ(delay_pct(130.0, 100.0), 30.0);
+}
+
+/// Property: S is non-increasing in execution time.
+class SatisfactionMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(SatisfactionMonotonic, NonIncreasing) {
+  const double deadline = GetParam();
+  double last = 101;
+  for (double exec = 0; exec < 3 * deadline; exec += deadline / 50) {
+    const double s = satisfaction(exec, deadline);
+    EXPECT_LE(s, last);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 100.0);
+    last = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, SatisfactionMonotonic,
+                         ::testing::Values(60.0, 3600.0, 86400.0));
+
+// ---- synthetic generator ----------------------------------------------------
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const auto a = evaluation_workload(7);
+  const auto b = evaluation_workload(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit, b[i].submit);
+    EXPECT_DOUBLE_EQ(a[i].dedicated_seconds, b[i].dedicated_seconds);
+    EXPECT_DOUBLE_EQ(a[i].cpu_pct, b[i].cpu_pct);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const auto a = evaluation_workload(1);
+  const auto b = evaluation_workload(2);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Synthetic, SortedBySubmitWithDenseIds) {
+  const auto jobs = evaluation_workload();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+    if (i > 0) EXPECT_GE(jobs[i].submit, jobs[i - 1].submit);
+  }
+}
+
+TEST(Synthetic, FieldsWithinConfiguredBounds) {
+  SyntheticConfig c;
+  const auto jobs = generate(c);
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit, 0.0);
+    EXPECT_LE(j.submit, c.span_seconds);
+    EXPECT_GE(j.dedicated_seconds, c.min_runtime_s);
+    EXPECT_LE(j.dedicated_seconds, c.max_runtime_s);
+    EXPECT_GE(j.deadline_factor, c.deadline_factor_lo);
+    EXPECT_LE(j.deadline_factor, c.deadline_factor_hi);
+    EXPECT_TRUE(j.cpu_pct == 50 || j.cpu_pct == 100 || j.cpu_pct == 200 ||
+                j.cpu_pct == 400);
+    EXPECT_GT(j.mem_mb, 0.0);
+    EXPECT_LE(j.mem_mb, 4096.0);  // must fit the evaluation hosts
+    EXPECT_DOUBLE_EQ(j.fault_tolerance, 0.0);
+  }
+}
+
+TEST(Synthetic, EvaluationWorkloadMatchesPaperAggregates) {
+  // The substitution contract (DESIGN.md): ~6000 core-hours over one week.
+  const auto stats = compute_stats(evaluation_workload());
+  EXPECT_GT(stats.jobs, 800u);
+  EXPECT_LT(stats.jobs, 3000u);
+  EXPECT_NEAR(stats.core_hours, 6055.0, 1500.0);
+  EXPECT_GT(stats.span_seconds, 6.0 * sim::kDay);
+}
+
+TEST(Synthetic, IntensityScalesJobCount) {
+  SyntheticConfig lo, hi;
+  lo.mean_jobs_per_hour = 4;
+  hi.mean_jobs_per_hour = 16;
+  EXPECT_GT(generate(hi).size(), 2 * generate(lo).size());
+}
+
+TEST(Synthetic, DiurnalPatternPresent) {
+  SyntheticConfig c;
+  c.mean_jobs_per_hour = 60;  // dense sampling of the day profile
+  c.span_seconds = 5 * sim::kDay;
+  c.weekend_factor = 1.0;     // isolate the diurnal term
+  const auto jobs = generate(c);
+  // Compare arrivals in the 6 h around the peak phase (08:00 + 6h window)
+  // with the opposite window.
+  std::size_t peak = 0, trough = 0;
+  for (const auto& j : jobs) {
+    const double hour = std::fmod(j.submit, sim::kDay) / 3600.0;
+    if (hour >= 11 && hour < 17) ++peak;      // around the sine maximum
+    if (hour >= 23 || hour < 5) ++trough;     // around the minimum
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(Synthetic, WeekendDipPresent) {
+  SyntheticConfig c;
+  c.mean_jobs_per_hour = 40;
+  c.diurnal_amplitude = 0;  // isolate the weekend term
+  const auto jobs = generate(c);
+  std::size_t weekday = 0, weekend = 0;
+  for (const auto& j : jobs) {
+    (static_cast<int>(j.submit / sim::kDay) % 7 >= 5 ? weekend : weekday)++;
+  }
+  // 5 weekdays vs 2 weekend days at factor 0.55: per-day rate ratio ~1.8.
+  const double per_day_weekday = static_cast<double>(weekday) / 5.0;
+  const double per_day_weekend = static_cast<double>(weekend) / 2.0;
+  EXPECT_GT(per_day_weekday, 1.3 * per_day_weekend);
+}
+
+TEST(Synthetic, BatchesArriveTogether) {
+  SyntheticConfig c;
+  c.batch_mean = 8;
+  const auto jobs = generate(c);
+  // With batch arrivals, many consecutive jobs are within 120 s.
+  std::size_t close = 0;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].submit - jobs[i - 1].submit < 120.0) ++close;
+  }
+  EXPECT_GT(close, jobs.size() / 2);
+}
+
+TEST(Synthetic, FaultToleranceDrawnWhenEnabled) {
+  SyntheticConfig c;
+  c.max_fault_tolerance = 0.05;
+  const auto jobs = generate(c);
+  bool any_positive = false;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.fault_tolerance, 0.0);
+    EXPECT_LE(j.fault_tolerance, 0.05);
+    any_positive |= j.fault_tolerance > 0;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, EmptyWorkload) {
+  const auto s = compute_stats({});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.core_hours, 0.0);
+}
+
+TEST(Stats, SingleJob) {
+  Job j;
+  j.submit = 10;
+  j.dedicated_seconds = 7200;
+  j.cpu_pct = 200;
+  const auto s = compute_stats({j});
+  EXPECT_EQ(s.jobs, 1u);
+  EXPECT_DOUBLE_EQ(s.core_hours, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_runtime_s, 7200.0);
+  EXPECT_DOUBLE_EQ(s.peak_concurrent_cores, 2.0);
+}
+
+TEST(Stats, PeakCountsOverlapsOnly) {
+  Job a, b;
+  a.submit = 0;
+  a.dedicated_seconds = 100;
+  a.cpu_pct = 100;
+  b.submit = 50;
+  b.dedicated_seconds = 100;
+  b.cpu_pct = 300;
+  const auto s = compute_stats({a, b});
+  EXPECT_DOUBLE_EQ(s.peak_concurrent_cores, 4.0);
+
+  b.submit = 200;  // no overlap
+  const auto s2 = compute_stats({a, b});
+  EXPECT_DOUBLE_EQ(s2.peak_concurrent_cores, 3.0);
+}
+
+TEST(Stats, DescribeMentionsKeyNumbers) {
+  const auto jobs = evaluation_workload();
+  const auto text = describe(compute_stats(jobs));
+  EXPECT_NE(text.find("jobs"), std::string::npos);
+  EXPECT_NE(text.find("core-hours"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easched::workload

@@ -1,0 +1,144 @@
+// Unit and property tests for the Xen-credit-like CPU allocator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datacenter/xen_scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace easched::datacenter {
+namespace {
+
+TEST(XenScheduler, EmptyHostUsesNothing) {
+  const auto a = allocate_cpu(400, {});
+  EXPECT_DOUBLE_EQ(a.used_pct, 0);
+  EXPECT_DOUBLE_EQ(a.oversubscription, 1.0);
+}
+
+TEST(XenScheduler, UndersubscribedEveryoneGetsDemand) {
+  const auto a = allocate_cpu(400, {{100, 256, 0}, {150, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 100);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[1], 150);
+  EXPECT_DOUBLE_EQ(a.used_pct, 250);
+  EXPECT_DOUBLE_EQ(a.oversubscription, 1.0);
+}
+
+TEST(XenScheduler, OversubscribedEqualWeightsShareEqually) {
+  const auto a = allocate_cpu(400, {{300, 256, 0}, {300, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 200);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[1], 200);
+  EXPECT_DOUBLE_EQ(a.oversubscription, 1.5);
+}
+
+TEST(XenScheduler, WeightsBiasShares) {
+  const auto a = allocate_cpu(300, {{300, 512, 0}, {300, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 200);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[1], 100);
+}
+
+TEST(XenScheduler, WaterFillingRedistributesSurplus) {
+  // VM0 wants only 50; its surplus share goes to the hungry VM1/VM2.
+  const auto a =
+      allocate_cpu(400, {{50, 256, 0}, {400, 256, 0}, {400, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 50);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[1], 175);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[2], 175);
+  EXPECT_NEAR(a.used_pct, 400, 1e-9);
+}
+
+TEST(XenScheduler, CapLimitsAllocation) {
+  // Xen cap: VM0 capped at 100 even though it demands 400.
+  const auto a = allocate_cpu(400, {{400, 256, 100}, {100, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 100);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[1], 100);
+}
+
+TEST(XenScheduler, CapZeroMeansUncapped) {
+  const auto a = allocate_cpu(400, {{350, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 350);
+}
+
+TEST(XenScheduler, MgmtPreemptsGuests) {
+  const auto a = allocate_cpu(400, {{400, 256, 0}}, 100);
+  EXPECT_DOUBLE_EQ(a.mgmt_alloc_pct, 100);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 300);
+  EXPECT_DOUBLE_EQ(a.used_pct, 400);
+}
+
+TEST(XenScheduler, MgmtAloneCappedAtCapacity) {
+  const auto a = allocate_cpu(400, {}, 600);
+  EXPECT_DOUBLE_EQ(a.mgmt_alloc_pct, 400);
+}
+
+TEST(XenScheduler, ZeroDemandVmGetsZero) {
+  const auto a = allocate_cpu(400, {{0, 256, 0}, {100, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[0], 0);
+  EXPECT_DOUBLE_EQ(a.vm_alloc_pct[1], 100);
+}
+
+TEST(XenScheduler, OversubscriptionCountsCapsNotRawDemand) {
+  // A capped VM's effective demand is its cap.
+  const auto a = allocate_cpu(400, {{400, 256, 100}, {100, 256, 0}});
+  EXPECT_DOUBLE_EQ(a.oversubscription, 1.0);
+}
+
+/// Property sweep over random demand mixes: conservation and bounds.
+class XenAllocationProperties : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(XenAllocationProperties, InvariantsHold) {
+  support::Rng rng{GetParam()};
+  for (int trial = 0; trial < 200; ++trial) {
+    const double capacity = 100.0 * (1 + rng.uniform_int(1, 8));
+    const int n = static_cast<int>(rng.uniform_int(0, 12));
+    std::vector<CpuDemand> vms;
+    double total_want = 0;
+    for (int i = 0; i < n; ++i) {
+      CpuDemand d;
+      d.demand_pct = rng.uniform(0.0, 400.0);
+      d.weight = 1 + static_cast<double>(rng.uniform_int(1, 1024));
+      d.cap_pct = rng.uniform01() < 0.3 ? rng.uniform(10.0, 400.0) : 0.0;
+      total_want +=
+          d.cap_pct > 0 ? std::min(d.demand_pct, d.cap_pct) : d.demand_pct;
+      vms.push_back(d);
+    }
+    const double mgmt = rng.uniform01() < 0.5 ? rng.uniform(0.0, 200.0) : 0.0;
+    const auto a = allocate_cpu(capacity, vms, mgmt);
+
+    // 1. No VM exceeds its demand or its cap.
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LE(a.vm_alloc_pct[i], vms[static_cast<std::size_t>(i)].demand_pct + 1e-6);
+      if (vms[static_cast<std::size_t>(i)].cap_pct > 0) {
+        EXPECT_LE(a.vm_alloc_pct[i], vms[static_cast<std::size_t>(i)].cap_pct + 1e-6);
+      }
+      EXPECT_GE(a.vm_alloc_pct[i], -1e-9);
+    }
+    // 2. Conservation: used == sum of parts, never above capacity.
+    double sum = a.mgmt_alloc_pct;
+    for (double v : a.vm_alloc_pct) sum += v;
+    EXPECT_NEAR(sum, a.used_pct, 1e-6);
+    EXPECT_LE(a.used_pct, capacity + 1e-6);
+    // 3. Work conservation: either demand is fully met or capacity is
+    // (nearly) exhausted.
+    const double met = std::min(total_want + mgmt, capacity);
+    EXPECT_NEAR(a.used_pct, met, 1e-6);
+    // 4. Oversubscription factor consistent.
+    const double over = (total_want + mgmt) / capacity;
+    EXPECT_NEAR(a.oversubscription, over > 1 ? over : 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XenAllocationProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+/// Property: weighted shares are proportional when everyone is hungry.
+TEST(XenScheduler, ProportionalWhenAllHungry) {
+  const auto a = allocate_cpu(
+      600, {{600, 100, 0}, {600, 200, 0}, {600, 300, 0}});
+  EXPECT_NEAR(a.vm_alloc_pct[0], 100, 1e-9);
+  EXPECT_NEAR(a.vm_alloc_pct[1], 200, 1e-9);
+  EXPECT_NEAR(a.vm_alloc_pct[2], 300, 1e-9);
+}
+
+}  // namespace
+}  // namespace easched::datacenter
