@@ -11,6 +11,7 @@
 #include "core/hill_climb.hpp"
 #include "core/score_based_policy.hpp"
 #include "core/score_matrix.hpp"
+#include "core/solver_pool.hpp"
 #include "datacenter/xen_scheduler.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
@@ -104,6 +105,108 @@ void BM_HillClimbRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HillClimbRound);
+
+/// A populated datacenter at parametric scale for the solver_scaling
+/// benchmark: `hosts` nodes in the evaluation fleet's 15/50/35 mix, with
+/// a running population of ~60 % of the fleet and a queue burst. Fixed
+/// seeds: every solver variant sees the identical instance.
+struct ScalingFixture {
+  sim::Simulator simulator;
+  metrics::Recorder recorder;
+  datacenter::Datacenter dc;
+  std::vector<datacenter::VmId> queue;
+
+  static datacenter::DatacenterConfig make_config(int hosts) {
+    const std::size_t fast = static_cast<std::size_t>(hosts) * 15 / 100;
+    const std::size_t medium = static_cast<std::size_t>(hosts) / 2;
+    datacenter::DatacenterConfig config;
+    config.hosts = experiments::evaluation_hosts(
+        fast, medium, static_cast<std::size_t>(hosts) - fast - medium);
+    config.seed = 3;
+    return config;
+  }
+
+  explicit ScalingFixture(int hosts)
+      : recorder(static_cast<std::size_t>(hosts)),
+        dc(simulator, make_config(hosts), recorder) {
+    support::Rng rng{23};
+    const int running = hosts * 3 / 5;
+    for (int i = 0; i < running; ++i) {
+      workload::Job job;
+      job.submit = 0;
+      job.dedicated_seconds = 36000;
+      job.cpu_pct = (i % 4 + 1) * 100.0;
+      job.mem_mb = 512;
+      const auto v = dc.admit_job(job);
+      datacenter::HostId h = static_cast<datacenter::HostId>(
+          rng.uniform_int(0, dc.num_hosts() - 1));
+      while (!dc.fits(h, v)) h = (h + 1) % dc.num_hosts();
+      dc.place(v, h);
+    }
+    simulator.run_until(600);  // creations settle
+    const int queued = hosts / 12 + 4;
+    for (int i = 0; i < queued; ++i) {
+      workload::Job job;
+      job.submit = simulator.now();
+      job.dedicated_seconds = 7200;
+      job.cpu_pct = (i % 2 + 1) * 100.0;
+      job.mem_mb = 512;
+      queue.push_back(dc.admit_job(job));
+    }
+  }
+};
+
+/// solver_scaling: one consolidation round (matrix build + solve) at fleet
+/// sizes 100 / 400 / 1600, comparing the seed implementation
+/// (hill_climb_reference, full-matrix rescan per iteration), the
+/// incremental production solver, and the incremental solver over a 4-way
+/// SolverPool. All three produce bit-identical plans
+/// (tests/test_solver_equivalence.cpp); only the time differs.
+template <typename Solve>
+void solver_scaling_round(benchmark::State& state, const Solve& solve,
+                          core::SolverPool* pool = nullptr) {
+  ScalingFixture fx(static_cast<int>(state.range(0)));
+  core::ScoreParams params;
+  for (auto _ : state) {
+    core::ScoreModel model(fx.dc, fx.queue, params, /*migration=*/true, pool);
+    auto stats = solve(model);
+    benchmark::DoNotOptimize(stats.moves);
+  }
+  state.counters["moves"] = static_cast<double>([&] {
+    core::ScoreModel model(fx.dc, fx.queue, params, true, pool);
+    return solve(model).moves;
+  }());
+}
+
+void BM_SolverScaling_Serial(benchmark::State& state) {
+  solver_scaling_round(state, [](core::ScoreModel& model) {
+    return core::hill_climb_reference(model, core::HillClimbLimits{});
+  });
+}
+BENCHMARK(BM_SolverScaling_Serial)
+    ->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverScaling_Incremental(benchmark::State& state) {
+  solver_scaling_round(state, [](core::ScoreModel& model) {
+    return core::hill_climb(model, core::HillClimbLimits{});
+  });
+}
+BENCHMARK(BM_SolverScaling_Incremental)
+    ->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverScaling_Threaded4(benchmark::State& state) {
+  core::SolverPool pool(4);
+  core::HillClimbLimits limits;
+  limits.pool = &pool;
+  solver_scaling_round(state, [&](core::ScoreModel& model) {
+    return core::hill_climb(model, limits);
+  }, &pool);
+}
+BENCHMARK(BM_SolverScaling_Threaded4)
+    ->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatedDay(benchmark::State& state) {
   workload::SyntheticConfig wl;

@@ -45,6 +45,16 @@ ScoreBasedConfig ScoreBasedConfig::sb_full() {
   return c;
 }
 
+SolverPool* ScoreBasedPolicy::pool() {
+  if (!pool_resolved_) {
+    const int threads = config_.solver_threads > 0 ? config_.solver_threads
+                                                   : SolverPool::env_threads();
+    if (threads > 1) pool_ = std::make_unique<SolverPool>(threads);
+    pool_resolved_ = true;
+  }
+  return pool_.get();
+}
+
 std::vector<sched::Action> ScoreBasedPolicy::schedule(
     const sched::SchedContext& ctx) {
   const sim::SimTime now = ctx.dc.simulator().now();
@@ -53,7 +63,7 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
       now - last_consolidation_ >= config_.migration_period_s;
   if (consolidate) last_consolidation_ = now;
 
-  ScoreModel model(ctx.dc, ctx.queue, config_.params, consolidate);
+  ScoreModel model(ctx.dc, ctx.queue, config_.params, consolidate, pool());
   if (config_.solver == MatrixSolver::kAnnealing) {
     // Deterministic per round: derive the walk seed from the clock.
     AnnealingParams params = config_.annealing;
@@ -65,6 +75,7 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
     limits.max_moves = config_.max_moves;
     limits.max_migration_moves = config_.max_migrations_per_round;
     limits.min_migration_gain = config_.min_migration_gain;
+    limits.pool = pool();
     last_stats_ = hill_climb(model, limits);
   }
 
@@ -94,7 +105,8 @@ datacenter::HostId ScoreBasedPolicy::choose_power_off(
     const std::vector<datacenter::HostId>& idle_hosts) {
   EA_EXPECTS(!idle_hosts.empty());
   // Rank by the aggregated matrix row of each idle candidate.
-  ScoreModel model(ctx.dc, ctx.queue, config_.params, config_.migration);
+  ScoreModel model(ctx.dc, ctx.queue, config_.params, config_.migration,
+                   pool());
   datacenter::HostId best = idle_hosts.front();
   double best_score = -1;
   for (int r = 0; r < model.virtual_row(); ++r) {

@@ -12,10 +12,13 @@
 //   SB-full = SB + PSLA + Pfault              (extensions, A2/A3 benches)
 #pragma once
 
+#include <memory>
+
 #include "core/annealing.hpp"
 #include "core/hill_climb.hpp"
 #include "core/score.hpp"
 #include "core/score_matrix.hpp"
+#include "core/solver_pool.hpp"
 #include "sched/policy.hpp"
 
 namespace easched::core {
@@ -40,6 +43,11 @@ struct ScoreBasedConfig {
   /// Minimum matrix improvement a migration must bring; keeps marginal
   /// reshuffles (whose cost the matrix only approximates) from happening.
   double min_migration_gain = 35;
+  /// Worker threads for the matrix build and the hill-climbing sweep.
+  /// 0 = take EASCHED_SOLVER_THREADS from the environment (default 1,
+  /// i.e. serial). Threaded plans are bit-identical to serial ones
+  /// (tests/test_solver_equivalence.cpp).
+  int solver_threads = 0;
   std::string label = "SB";
 
   static ScoreBasedConfig sb0();
@@ -76,9 +84,15 @@ class ScoreBasedPolicy final : public sched::Policy {
   }
 
  private:
+  /// Resolves config_.solver_threads (consulting the environment once) and
+  /// returns the shared pool, or nullptr when running serially.
+  SolverPool* pool();
+
   ScoreBasedConfig config_;
   HillClimbStats last_stats_;
   sim::SimTime last_consolidation_ = -1e18;  ///< time of last migration round
+  std::unique_ptr<SolverPool> pool_;  ///< lazily created, reused each round
+  bool pool_resolved_ = false;
 };
 
 }  // namespace easched::core

@@ -1,8 +1,10 @@
 #include "core/score_matrix.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/penalties.hpp"
+#include "core/solver_pool.hpp"
 #include "support/contracts.hpp"
 #include "workload/satisfaction.hpp"
 
@@ -15,8 +17,9 @@ using datacenter::VmState;
 
 ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
                        const std::vector<VmId>& queued,
-                       const ScoreParams& params, bool migration_enabled)
-    : params_(params) {
+                       const ScoreParams& params, bool migration_enabled,
+                       SolverPool* pool)
+    : params_(params), pool_(pool) {
   const sim::SimTime now = dc.simulator().now();
 
   // Rows: powered-on hosts.
@@ -81,6 +84,65 @@ ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
       if (vm.state == VmState::kRunning) add_column(vm, /*is_new=*/false);
     }
   }
+
+  const std::size_t cells = hosts_.size() * vms_.size();
+  static_terms_.resize(cells);
+  cache_.resize(cells);
+  cache_ok_.assign(cells, 0);
+  build_static_terms(pool_);
+}
+
+void ScoreModel::build_static_terms(SolverPool* pool) {
+  const int nrows = static_cast<int>(hosts_.size());
+  if (nrows == 0 || vms_.empty()) return;
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->parallel_for(nrows, [this](int begin, int end) {
+      for (int r = begin; r < end; ++r) build_static_row(r);
+    });
+  } else {
+    for (int r = 0; r < nrows; ++r) build_static_row(r);
+  }
+}
+
+void ScoreModel::build_static_row(int r) {
+  const HostRow& h = hosts_[static_cast<std::size_t>(r)];
+  for (int c = 0; c < static_cast<int>(vms_.size()); ++c) {
+    const VmCol& v = vms_[static_cast<std::size_t>(c)];
+    StaticTerms& st = static_terms_[at(r, c)];
+    st.compat =
+        h.arch == v.arch && (h.software & v.software) == v.software;
+    if (!st.compat) continue;
+    const bool home = v.original == r;
+    if (params_.use_virt) {
+      const double pm = p_migration(h.migration_cost, v.remaining_user_s);
+      st.virt = p_virt(home, /*operation_on_vm=*/false, v.is_new,
+                       h.creation_cost, pm);
+    }
+    st.conc = p_conc(home, h.conc_remaining_s);
+    st.fault = p_fault(h.reliability, v.fault_tolerance, params_.c_fail);
+  }
+}
+
+void ScoreModel::prime() {
+  const int nrows = static_cast<int>(hosts_.size());
+  const int ncols = static_cast<int>(vms_.size());
+  if (nrows == 0 || ncols == 0) return;
+  const auto fill_rows = [this, ncols](int begin, int end) {
+    for (int r = begin; r < end; ++r) {
+      for (int c = 0; c < ncols; ++c) {
+        const std::size_t i = at(r, c);
+        if (!cache_ok_[i]) {
+          cache_[i] = score_cell(r, c);
+          cache_ok_[i] = 1;
+        }
+      }
+    }
+  };
+  if (pool_ != nullptr && pool_->threads() > 1) {
+    pool_->parallel_for(nrows, fill_rows);
+  } else {
+    fill_rows(0, nrows);
+  }
 }
 
 int ScoreModel::rows() const { return static_cast<int>(hosts_.size()) + 1; }
@@ -115,37 +177,44 @@ double ScoreModel::cell(int r, int c) const {
   EA_EXPECTS(r >= 0 && r < rows());
   EA_EXPECTS(c >= 0 && c < cols());
   if (r == virtual_row()) return kInfScore;
-  return score_cell(hosts_[static_cast<std::size_t>(r)],
-                    vms_[static_cast<std::size_t>(c)]);
+  const std::size_t i = at(r, c);
+  if (!cache_ok_[i]) {
+    cache_[i] = score_cell(r, c);
+    cache_ok_[i] = 1;
+  }
+  return cache_[i];
 }
 
-double ScoreModel::score_cell(const HostRow& h, const VmCol& v) const {
-  const bool planned_here =
-      v.planned != virtual_row() &&
-      &hosts_[static_cast<std::size_t>(v.planned)] == &h;
-  const bool home = v.original != virtual_row() &&
-                    &hosts_[static_cast<std::size_t>(v.original)] == &h;
+double ScoreModel::recompute_cell(int r, int c) const {
+  EA_EXPECTS(r >= 0 && r < rows());
+  EA_EXPECTS(c >= 0 && c < cols());
+  if (r == virtual_row()) return kInfScore;
+  return score_cell(r, c);
+}
 
-  // Preq — hardware and software requirements.
-  const bool compat =
-      h.arch == v.arch && (h.software & v.software) == v.software;
-  double s = p_req(compat);
-  if (is_inf_score(s)) return kInfScore;
+double ScoreModel::score_cell(int r, int c) const {
+  const HostRow& h = hosts_[static_cast<std::size_t>(r)];
+  const VmCol& v = vms_[static_cast<std::size_t>(c)];
+  const StaticTerms& st = static_terms_[at(r, c)];
+
+  // Preq — hardware and software requirements (plan-independent).
+  if (!st.compat) return kInfScore;
+
+  const bool planned_here = v.planned == r;
+  const bool home = v.original == r;
 
   // Pres — occupation after allocating the VM here.
   const double cpu = h.cpu_res + (planned_here ? 0.0 : v.cpu);
   const double mem = h.mem_res + (planned_here ? 0.0 : v.mem);
   const double occupation = std::max(cpu / h.cpu_cap, mem / h.mem_cap);
-  s += p_res(occupation);
+  double s = p_res(occupation);
   if (is_inf_score(s)) return kInfScore;
 
   if (params_.use_virt) {
-    const double pm = p_migration(h.migration_cost, v.remaining_user_s);
-    s += p_virt(home, /*operation_on_vm=*/false, v.is_new, h.creation_cost,
-                pm);
+    s += st.virt;
   }
   if (params_.use_conc) {
-    s += p_conc(home, h.conc_remaining_s);
+    s += st.conc;
   }
   if (params_.use_pwr) {
     const int count_wo_vm = h.vm_count - (planned_here ? 1 : 0);
@@ -170,9 +239,15 @@ double ScoreModel::score_cell(const HostRow& h, const VmCol& v) const {
     s += p_sla(fulfilment, params_.th_sla, params_.c_sla);
   }
   if (params_.use_fault) {
-    s += p_fault(h.reliability, v.fault_tolerance, params_.c_fail);
+    s += st.fault;
   }
   return std::min(s, kInfScore);
+}
+
+void ScoreModel::invalidate_row(int r) {
+  const std::size_t ncols = vms_.size();
+  if (ncols == 0) return;
+  std::memset(cache_ok_.data() + at(r, 0), 0, ncols);
 }
 
 ScoreModel::Dirty ScoreModel::move(int r, int c) {
@@ -204,6 +279,8 @@ ScoreModel::Dirty ScoreModel::move(int r, int c) {
     new_row.running_demand += v.cpu;
   }
   v.planned = r;
+  if (dirty.row_a >= 0) invalidate_row(dirty.row_a);
+  if (dirty.row_b >= 0) invalidate_row(dirty.row_b);
   return dirty;
 }
 

@@ -8,6 +8,20 @@
 // memory, VM counts, running demand) tracks the plan so each score reflects
 // the hypothetical final configuration, while the one-off move costs
 // (Pvirt) are always charged from the VM's *original* location.
+//
+// Incremental evaluation. Score(h, vm) splits into a plan-independent part
+// — Preq compatibility, Pvirt (charged from the original location), Pconc
+// (the snapshot's in-flight operations) and Pfault — computed once per
+// (host, vm) pair at snapshot time, and a plan-dependent part (Pres, Ppwr,
+// PSLA) evaluated against the current plan. Evaluated cells are cached.
+//
+// Cache-invalidation contract: move(r, c) dirties exactly the rows the
+// column left and entered — those rows' occupation, VM count and running
+// demand changed for *every* column — and nothing else. The moved column's
+// cells on untouched rows are unchanged (its static terms are charged from
+// its original location, which never moves), and the virtual row is
+// constantly kInfScore. tests/test_score_cache.cpp holds this contract to
+// zero-tolerance equality against fresh recomputation.
 #pragma once
 
 #include <vector>
@@ -18,6 +32,8 @@
 
 namespace easched::core {
 
+class SolverPool;
+
 class ScoreModel {
  public:
   /// Snapshots `dc`. Columns are built from the queued VMs plus — when
@@ -26,16 +42,33 @@ class ScoreModel {
   /// (the paper gives them infinite scores; we simply exclude them as
   /// columns, which is equivalent and cheaper). Rows are the powered-on
   /// hosts plus the virtual host as the last row.
+  ///
+  /// `pool` (optional, not owned) parallelizes the plan-independent term
+  /// build and prime() over row ranges; results are bit-identical to the
+  /// serial build.
   ScoreModel(const datacenter::Datacenter& dc,
              const std::vector<datacenter::VmId>& queued,
-             const ScoreParams& params, bool migration_enabled);
+             const ScoreParams& params, bool migration_enabled,
+             SolverPool* pool = nullptr);
 
   [[nodiscard]] int rows() const;  ///< hosts + 1 (virtual host, last row)
   [[nodiscard]] int cols() const;
   [[nodiscard]] int virtual_row() const { return rows() - 1; }
 
   /// Score(h, vm) for the current plan. The virtual row is kInfScore.
+  /// Cached: repeated calls between moves are O(1); a move re-evaluates
+  /// only cells of the two touched rows on their next read.
   [[nodiscard]] double cell(int r, int c) const;
+
+  /// Recomputes Score(r, c) from the bookkeeping, bypassing (and not
+  /// updating) the cache. Same arithmetic as cell(); exposed so the
+  /// property tests can assert cache/fresh equality at zero tolerance.
+  [[nodiscard]] double recompute_cell(int r, int c) const;
+
+  /// Evaluates every cell into the cache, partitioned by rows over the
+  /// pool when one was supplied (the "initial matrix build" sweep). A
+  /// serial call is equivalent; lazy per-cell fills are too.
+  void prime();
 
   /// Row where column `c` is currently planned.
   [[nodiscard]] int plan_row(int c) const;
@@ -49,7 +82,8 @@ class ScoreModel {
   /// region: every cell of column `c`, plus every cell of the rows the VM
   /// left and entered (their occupation changed for all other columns).
   /// Moving to the virtual row (allowed only for undo by the exhaustive
-  /// reference solver) releases the column's reservations.
+  /// reference solver) releases the column's reservations. Invalidates the
+  /// cached cells of the dirty rows.
   struct Dirty {
     int col = -1;
     int row_a = -1;  ///< previous row (-1 if it was the virtual row)
@@ -95,12 +129,36 @@ class ScoreModel {
     workload::Arch arch{};
     std::uint32_t software = 0;
   };
+  /// Plan-independent penalty terms of one (host, vm) pair, fixed at
+  /// snapshot time: Preq compatibility, Pvirt (incl. the Pm migration
+  /// term), Pconc and Pfault. The plan-dependent remainder (Pres, Ppwr,
+  /// PSLA) is evaluated by score_cell().
+  struct StaticTerms {
+    double virt = 0;
+    double conc = 0;
+    double fault = 0;
+    bool compat = false;
+  };
 
-  [[nodiscard]] double score_cell(const HostRow& h, const VmCol& v) const;
+  [[nodiscard]] std::size_t at(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(vms_.size()) +
+           static_cast<std::size_t>(c);
+  }
+  void build_static_terms(SolverPool* pool);
+  void build_static_row(int r);
+  [[nodiscard]] double score_cell(int r, int c) const;
+  void invalidate_row(int r);
 
   ScoreParams params_;
   std::vector<HostRow> hosts_;
   std::vector<VmCol> vms_;
+  std::vector<StaticTerms> static_terms_;   ///< (rows-1) x cols
+  SolverPool* pool_ = nullptr;              ///< not owned; may be null
+  // Per-cell score cache over the real rows. `mutable`: cell() is a const
+  // query that memoizes. Threaded sweeps stay race-free because workers
+  // only touch disjoint row (build) or column (argmin) ranges.
+  mutable std::vector<double> cache_;
+  mutable std::vector<unsigned char> cache_ok_;
 };
 
 }  // namespace easched::core

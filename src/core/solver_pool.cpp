@@ -1,0 +1,81 @@
+#include "core/solver_pool.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+namespace easched::core {
+
+SolverPool::SolverPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+SolverPool::~SolverPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void SolverPool::run_chunk(int index) const {
+  // Fixed partition: chunk i covers [i*n/T, (i+1)*n/T). Depends only on
+  // (n, threads) so serial and threaded sweeps visit identical ranges.
+  const std::int64_t n = n_;
+  const std::int64_t t = threads_;
+  const int begin = static_cast<int>(index * n / t);
+  const int end = static_cast<int>((index + 1) * n / t);
+  if (begin < end) (*fn_)(begin, end);
+}
+
+void SolverPool::parallel_for(int n, const std::function<void(int, int)>& fn) {
+  if (n <= 0) return;
+  if (threads_ == 1) {
+    fn(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    n_ = n;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the calling thread owns chunk 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void SolverPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen] { return generation_ != seen; });
+      seen = generation_;
+      if (stop_) return;
+    }
+    run_chunk(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+int SolverPool::env_threads() {
+  const char* env = std::getenv("EASCHED_SOLVER_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long value = std::strtol(env, nullptr, 10);
+  return static_cast<int>(std::clamp(value, 1L, 64L));
+}
+
+}  // namespace easched::core

@@ -1,0 +1,66 @@
+// A small persistent thread pool for the matrix solvers.
+//
+// The (M+1) x N score matrix is embarrassingly parallel in both directions:
+// the initial cache build partitions *rows* (each worker fills the cells of
+// a contiguous row range) and the per-iteration argmin sweep partitions
+// *columns* (each worker maintains the per-column best of a contiguous
+// column range). Determinism is part of the contract: `parallel_for` splits
+// [0, n) into exactly `threads()` contiguous chunks whose boundaries depend
+// only on (n, threads), every index is processed by exactly one worker with
+// the same per-index arithmetic as a serial run, and callers reduce the
+// per-chunk results on the calling thread in ascending chunk order — so a
+// threaded sweep is bit-identical to a serial one (see
+// docs/architecture.md, "Determinism contract").
+//
+// Workers must only touch disjoint state per chunk; the pool provides no
+// synchronization beyond the fork/join barrier of each parallel_for call.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easched::core {
+
+class SolverPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates as chunk
+  /// 0). `threads` is clamped to at least 1; a 1-thread pool runs inline.
+  explicit SolverPool(int threads);
+  ~SolverPool();
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Runs `fn(begin, end)` over a partition of [0, n) into threads() fixed
+  /// contiguous chunks, concurrently, and returns when all chunks are done.
+  /// `fn` must not throw and must only write state that is disjoint between
+  /// chunks. Blocking: the calling thread executes chunk 0.
+  void parallel_for(int n, const std::function<void(int, int)>& fn);
+
+  /// Thread count requested via the EASCHED_SOLVER_THREADS environment
+  /// variable; 1 (serial) when unset or unparsable, clamped to [1, 64].
+  static int env_threads();
+
+ private:
+  void worker_loop(int index);
+  void run_chunk(int index) const;
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, int)>* fn_ = nullptr;  // guarded by mutex_
+  int n_ = 0;
+  int pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace easched::core

@@ -135,6 +135,7 @@ void SchedulerDriver::remove_from_queue(VmId v) {
 }
 
 void SchedulerDriver::apply(const std::vector<Action>& actions) {
+  std::vector<Action> applied;
   for (const Action& a : actions) {
     const auto& vm = dc_.vm(a.vm);
     switch (a.kind) {
@@ -146,6 +147,7 @@ void SchedulerDriver::apply(const std::vector<Action>& actions) {
         if (!dc_.fits_memory(a.host, a.vm)) break;
         remove_from_queue(a.vm);
         dc_.place(a.vm, a.host);
+        applied.push_back(a);
         break;
       case Action::Kind::kMigrate:
         if (!policy_.uses_migration()) break;
@@ -153,9 +155,11 @@ void SchedulerDriver::apply(const std::vector<Action>& actions) {
         if (dc_.host(a.host).state != datacenter::HostState::kOn) break;
         if (!dc_.fits_memory(a.host, a.vm)) break;
         dc_.migrate(a.vm, a.host);
+        applied.push_back(a);
         break;
     }
   }
+  if (on_actions && !applied.empty()) on_actions(sim_.now(), applied);
 }
 
 const char* to_string(QueueOrder order) noexcept {

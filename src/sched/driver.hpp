@@ -102,6 +102,11 @@ class SchedulerDriver {
   /// it to stop the clock.
   std::function<void()> on_all_done;
 
+  /// Observation hook: fired after a round's actions pass validation and
+  /// are applied, with the subset that actually took effect. The
+  /// golden-trace regression test records placement decisions through it.
+  std::function<void(sim::SimTime, const std::vector<Action>&)> on_actions;
+
   /// Fired on every job completion (after metrics are recorded).
   std::function<void(datacenter::VmId)> on_job_finished;
 

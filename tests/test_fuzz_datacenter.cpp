@@ -8,6 +8,8 @@
 
 #include <algorithm>
 
+#include "core/hill_climb.hpp"
+#include "core/score_matrix.hpp"
 #include "test_fixtures.hpp"
 
 namespace easched::datacenter {
@@ -230,6 +232,130 @@ class Fuzzer {
   std::vector<VmId> queued_;
 };
 
+/// Fuzz at the scheduling layer: interleaves score-based scheduling rounds
+/// (the solver planning over the live system, plans applied like the SB
+/// policy applies them) with failure injection and time advancement, and
+/// checks the solver-facing safety properties after every round:
+///  - no host is committed beyond its reserved CPU / memory capacity,
+///  - no VM is left on the virtual row while a feasible host scores
+///    negative for it (the climber must have taken that placement).
+class SchedulingFuzzer {
+ public:
+  explicit SchedulingFuzzer(std::uint64_t seed)
+      : rng_(seed), recorder_(kHosts) {
+    DatacenterConfig config;
+    config.hosts.assign(kHosts, HostSpec::medium());
+    config.inject_failures = true;
+    config.mean_repair_s = 500;
+    for (std::size_t i = 0; i < kHosts; i += 2) {
+      config.hosts[i].reliability = 0.9;
+    }
+    config.checkpoint.enabled = true;
+    config.checkpoint.period_s = 150;
+    config.checkpoint.duration_s = 3;
+    config.seed = seed ^ 0xf00d;
+    dc_ = std::make_unique<Datacenter>(simulator_, config, recorder_);
+    dc_->on_host_failed = [this](HostId, std::vector<VmId> lost) {
+      for (VmId v : lost) queued_.push_back(v);
+    };
+    params_.use_virt = true;
+    params_.use_conc = true;
+    params_.use_fault = true;
+  }
+
+  void step(int i) {
+    const int arrivals = static_cast<int>(rng_.uniform_int(0, 2));
+    for (int a = 0; a < arrivals; ++a) {
+      static constexpr double kCpu[4] = {50, 100, 200, 400};
+      queued_.push_back(dc_->admit_job(make_job(
+          kCpu[rng_.uniform_int(0, 3)], rng_.uniform(128, 1200),
+          rng_.uniform(500, 6000), rng_.uniform(1.2, 2.0), simulator_.now())));
+    }
+    round(/*consolidate=*/i % 4 == 3);
+    simulator_.run_until(simulator_.now() + rng_.uniform(30, 400));
+    sync_queue();
+  }
+
+ private:
+  static constexpr std::size_t kHosts = 6;
+
+  void sync_queue() {
+    std::vector<VmId> synced;
+    for (VmId v : queued_) {
+      if (dc_->vm(v).state == VmState::kQueued &&
+          std::find(synced.begin(), synced.end(), v) == synced.end()) {
+        synced.push_back(v);
+      }
+    }
+    queued_ = std::move(synced);
+  }
+
+  void round(bool consolidate) {
+    sync_queue();
+    core::ScoreModel model(*dc_, queued_, params_, consolidate);
+    core::HillClimbLimits limits;
+    limits.max_moves = 512;
+    limits.min_migration_gain = 35;
+    const auto stats = core::hill_climb(model, limits);
+
+    // A column left on the virtual row means every real host scored it
+    // non-negative: any negative (or even merely finite-vs-infinite) cell
+    // gives an astronomically negative delta the climber must take.
+    if (!stats.hit_move_limit) {
+      for (int c = 0; c < model.cols(); ++c) {
+        if (model.original_row(c) != model.virtual_row()) continue;
+        if (model.plan_row(c) != model.virtual_row()) continue;
+        for (int r = 0; r < model.virtual_row(); ++r) {
+          ASSERT_GE(model.cell(r, c), 0.0)
+              << "VM " << model.vm_at(c) << " left queued although host row "
+              << r << " scores negative";
+        }
+      }
+    }
+
+    // Apply the plan the way ScoreBasedPolicy emits actions, with the same
+    // defensive validation the driver performs.
+    int migrations = 0;
+    for (int c = 0; c < model.cols(); ++c) {
+      const int planned = model.plan_row(c);
+      if (planned == model.original_row(c)) continue;
+      if (planned == model.virtual_row()) continue;
+      const VmId v = model.vm_at(c);
+      const HostId h = model.host_at(planned);
+      if (dc_->host(h).state != HostState::kOn) continue;
+      if (!dc_->fits_memory(h, v)) continue;
+      if (model.original_row(c) == model.virtual_row()) {
+        if (dc_->vm(v).state != VmState::kQueued) continue;
+        queued_.erase(std::find(queued_.begin(), queued_.end(), v));
+        dc_->place(v, h);
+      } else if (migrations < 8) {
+        if (dc_->vm(v).state != VmState::kRunning) continue;
+        if (dc_->vm(v).host == h) continue;
+        dc_->migrate(v, h);
+        ++migrations;
+      }
+    }
+    check_capacity();
+  }
+
+  void check_capacity() {
+    for (HostId h = 0; h < dc_->num_hosts(); ++h) {
+      const Host& host = dc_->host(h);
+      ASSERT_LE(dc_->reserved_mem_mb(h), host.spec.mem_mb + 1e-6)
+          << "host " << h << " over-committed on memory";
+      ASSERT_LE(dc_->reserved_cpu_pct(h), host.spec.cpu_capacity_pct + 1e-6)
+          << "host " << h << " over-committed on CPU";
+    }
+  }
+
+  support::Rng rng_;
+  sim::Simulator simulator_;
+  metrics::Recorder recorder_;
+  std::unique_ptr<Datacenter> dc_;
+  std::vector<VmId> queued_;
+  core::ScoreParams params_;
+};
+
 class FuzzDatacenter : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzDatacenter, InvariantsHoldWithoutFailures) {
@@ -242,6 +368,11 @@ TEST_P(FuzzDatacenter, InvariantsHoldWithFailureInjection) {
   Fuzzer fuzzer(GetParam() * 7919 + 1, /*failures=*/true);
   for (int i = 0; i < 600; ++i) fuzzer.step();
   fuzzer.drain();
+}
+
+TEST_P(FuzzDatacenter, SchedulingRoundsWithFailuresKeepInvariants) {
+  SchedulingFuzzer fuzzer(GetParam() * 104729 + 11);
+  for (int i = 0; i < 40; ++i) fuzzer.step(i);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDatacenter,

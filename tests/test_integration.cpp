@@ -3,11 +3,16 @@
 // the headline orderings the paper's evaluation rests on.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/score_based_policy.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
+#include "sched/driver.hpp"
 #include "workload/swf.hpp"
 #include "workload/synthetic.hpp"
 
@@ -221,6 +226,83 @@ TEST(Integration, SwfTraceDrivesSimulation) {
   ASSERT_FALSE(reread.empty());
   const auto res = run_experiment(reread, small_config("BF"));
   EXPECT_EQ(res.jobs_finished, reread.size());
+}
+
+/// Runs the SB policy over `jobs` on a small fixed fleet and returns one
+/// line per applied action, in application order.
+std::vector<std::string> sb_placement_trace(const workload::Workload& jobs) {
+  sim::Simulator simulator;
+  datacenter::DatacenterConfig dconf;
+  dconf.hosts = evaluation_hosts(3, 6, 3);
+  dconf.seed = 5;
+  metrics::Recorder recorder(dconf.hosts.size());
+  datacenter::Datacenter dc(simulator, dconf, recorder);
+  core::ScoreBasedPolicy policy(core::ScoreBasedConfig::sb());
+  sched::SchedulerDriver driver(simulator, dc, policy, sched::DriverConfig{});
+
+  std::vector<std::string> lines;
+  driver.on_actions = [&lines](sim::SimTime t,
+                               const std::vector<sched::Action>& actions) {
+    for (const sched::Action& a : actions) {
+      char buf[96];
+      std::snprintf(
+          buf, sizeof buf, "%.3f %s vm=%lu host=%lu", t,
+          a.kind == sched::Action::Kind::kPlace ? "place" : "migrate",
+          static_cast<unsigned long>(a.vm), static_cast<unsigned long>(a.host));
+      lines.emplace_back(buf);
+    }
+  };
+  driver.submit_workload(jobs);
+  driver.on_all_done = [&simulator] { simulator.stop(); };
+  simulator.run_until(90 * sim::kDay);
+  EXPECT_TRUE(driver.all_done());
+  return lines;
+}
+
+// Golden-trace regression: the exact per-round placement/migration decisions
+// of the SB policy on a checked-in SWF fixture must not drift. Any change to
+// score arithmetic, solver order or driver validation that alters even one
+// decision fails this test. To regenerate both fixture and expectation after
+// an *intentional* behavior change:
+//   EASCHED_REGEN_GOLDEN=1 ./tests/test_integration \
+//       --gtest_filter='*GoldenTrace*'
+TEST(Integration, GoldenTraceSbPolicy) {
+  const std::string dir = EASCHED_TEST_DATA_DIR;
+  const std::string swf_path = dir + "/golden_small.swf";
+  const std::string expected_path = dir + "/golden_trace_sb.expected";
+  const bool regen = std::getenv("EASCHED_REGEN_GOLDEN") != nullptr;
+
+  if (regen) {
+    workload::SyntheticConfig c;
+    c.seed = 4242;
+    c.span_seconds = 0.5 * sim::kDay;
+    c.mean_jobs_per_hour = 6;
+    std::ofstream swf(swf_path);
+    ASSERT_TRUE(swf.is_open()) << swf_path;
+    workload::write_swf(swf, workload::generate(c));
+  }
+
+  const auto jobs = workload::read_swf_file(swf_path);
+  ASSERT_FALSE(jobs.empty());
+  const auto lines = sb_placement_trace(jobs);
+  ASSERT_FALSE(lines.empty());
+
+  if (regen) {
+    std::ofstream out(expected_path);
+    ASSERT_TRUE(out.is_open()) << expected_path;
+    for (const std::string& line : lines) out << line << '\n';
+  }
+
+  std::ifstream in(expected_path);
+  ASSERT_TRUE(in.is_open())
+      << expected_path << " missing; regenerate with EASCHED_REGEN_GOLDEN=1";
+  std::vector<std::string> expected;
+  for (std::string line; std::getline(in, line);) expected.push_back(line);
+
+  ASSERT_EQ(lines.size(), expected.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i], expected[i]) << "trace diverges at line " << i;
+  }
 }
 
 }  // namespace

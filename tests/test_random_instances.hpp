@@ -1,0 +1,101 @@
+// Shared generator of randomized scheduling scenarios for the solver
+// property and differential tests (test_score_cache, test_solver_equivalence).
+//
+// Each instance is a small heterogeneous datacenter with a settled running
+// population, a non-empty queue and randomized penalty configuration —
+// enough variety to hit every score term (incompatible architectures,
+// missing software, fault-tolerant jobs, SLA pressure) without blowing up
+// the per-instance cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/score.hpp"
+#include "support/rng.hpp"
+#include "test_fixtures.hpp"
+
+namespace easched::testing {
+
+struct RandomInstance {
+  std::unique_ptr<SmallDc> fixture;
+  std::vector<datacenter::VmId> queue;
+  core::ScoreParams params;
+  bool migration = false;
+};
+
+inline RandomInstance make_random_instance(support::Rng& rng,
+                                           int max_hosts = 6,
+                                           int max_running = 8,
+                                           int max_queued = 6) {
+  using datacenter::DatacenterConfig;
+  using datacenter::HostId;
+  using datacenter::HostSpec;
+  using datacenter::VmId;
+
+  RandomInstance inst;
+  const int hosts = static_cast<int>(rng.uniform_int(2, max_hosts));
+  DatacenterConfig config;
+  for (int i = 0; i < hosts; ++i) {
+    HostSpec spec;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        spec = HostSpec::fast();
+        break;
+      case 1:
+        spec = HostSpec::medium();
+        break;
+      case 2:
+        spec = HostSpec::slow();
+        break;
+      default:
+        spec = HostSpec::low_power();
+        break;
+    }
+    spec.reliability = rng.uniform(0.8, 1.0);
+    if (rng.uniform01() < 0.1) spec.arch = workload::Arch::kPpc64;
+    if (rng.uniform01() < 0.3) spec.software |= workload::kSwKvm;
+    config.hosts.push_back(spec);
+  }
+  inst.fixture =
+      std::make_unique<SmallDc>(config.hosts.size(), std::move(config));
+  SmallDc& f = *inst.fixture;
+
+  const auto random_job = [&rng](double submit) {
+    workload::Job job = make_job(
+        100.0 * static_cast<double>(rng.uniform_int(1, 3)),
+        rng.uniform(128, 1200), rng.uniform(2000, 60000),
+        rng.uniform(1.2, 2.0), submit);
+    if (rng.uniform01() < 0.3) job.fault_tolerance = rng.uniform01();
+    if (rng.uniform01() < 0.1) job.software |= workload::kSwKvm;
+    if (rng.uniform01() < 0.05) job.arch = workload::Arch::kPpc64;
+    return job;
+  };
+
+  const int running = static_cast<int>(rng.uniform_int(0, max_running));
+  for (int i = 0; i < running; ++i) {
+    const VmId v = f.dc.admit_job(random_job(0));
+    std::vector<HostId> fitting;
+    for (HostId h = 0; h < f.dc.num_hosts(); ++h) {
+      if (f.dc.fits(h, v)) fitting.push_back(h);
+    }
+    if (fitting.empty()) continue;  // stays queued, outside the instance
+    f.dc.place(v, fitting[rng.uniform_int(0, fitting.size() - 1)]);
+  }
+  f.simulator.run_until(400.0);  // let creations settle into Running
+
+  const int queued = static_cast<int>(rng.uniform_int(1, max_queued));
+  for (int i = 0; i < queued; ++i) {
+    inst.queue.push_back(f.dc.admit_job(random_job(f.simulator.now())));
+  }
+
+  inst.params.use_virt = rng.uniform01() < 0.8;
+  inst.params.use_conc = rng.uniform01() < 0.8;
+  inst.params.use_pwr = rng.uniform01() < 0.9;
+  inst.params.use_sla = rng.uniform01() < 0.5;
+  inst.params.use_fault = rng.uniform01() < 0.5;
+  inst.migration = rng.uniform01() < 0.7;
+  return inst;
+}
+
+}  // namespace easched::testing
