@@ -1,0 +1,104 @@
+// Extension: operation-level fault injection and recovery (faults/).
+//
+// A fault-heavy scenario on the reliability fleet: every migration has an
+// 8 % chance of failing mid-transfer, creations occasionally fail or hang,
+// hosts sometimes refuse to boot, and host 3 is a lemon (8x the trouble).
+// The interesting result is that the recovery layer absorbs all of it —
+// retries with backoff, rollbacks to the source host, quarantine of the
+// lemon — and every job still finishes; the table quantifies what the
+// chaos costs in energy and satisfaction against the same run without it.
+//
+// `--smoke` runs only the chaos scenario and exits non-zero unless the
+// acceptance properties hold (all jobs finished; nonzero retry, rollback
+// and quarantine counters), which is what the `bench_faults_smoke` ctest
+// entry runs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "faults/fault_plan.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace easched;
+
+experiments::RunResult run_drill(const workload::Workload& jobs,
+                                 bool with_faults) {
+  experiments::RunConfig config;
+  config.datacenter.hosts = experiments::evaluation_hosts(5, 12, 8);
+  for (std::size_t i = 0; i < config.datacenter.hosts.size(); ++i) {
+    if (i % 2 == 1) {
+      config.datacenter.hosts[i].reliability = 0.95 + 0.04 * (i % 3) / 2.0;
+    }
+  }
+  config.datacenter.inject_failures = true;
+  config.datacenter.mean_repair_s = 2 * sim::kHour;
+  config.datacenter.checkpoint.enabled = true;
+  config.datacenter.checkpoint.period_s = 1800;
+  config.datacenter.seed = bench::kSeed;
+  config.policy = "SB-full";
+  config.horizon_s = 30 * sim::kDay;
+  if (with_faults) {
+    config.faults = faults::parse_fault_plan(
+        "migrate.fail=0.08,create.fail=0.03,create.hang=0.01,"
+        "power_on.fail=0.02,lemon=3:8");
+  }
+  return experiments::run_experiment(jobs, std::move(config));
+}
+
+int check_acceptance(const experiments::RunResult& chaos) {
+  int bad = 0;
+  const auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("SMOKE FAIL: %s\n", what);
+      bad = 1;
+    }
+  };
+  require(chaos.jobs_finished == chaos.jobs_submitted && !chaos.hit_horizon,
+          "all jobs finish despite the injected faults");
+  require(chaos.faults_injected > 0, "faults were actually injected");
+  require(chaos.report.retries > 0, "retry counter is nonzero");
+  require(chaos.report.rollbacks > 0, "rollback counter is nonzero");
+  require(chaos.report.quarantines > 0, "quarantine counter is nonzero");
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliArgs args(argc, argv);
+
+  workload::SyntheticConfig wl;
+  wl.seed = bench::kSeed;
+  wl.span_seconds = 2 * sim::kDay;
+  wl.mean_jobs_per_hour = 4;
+  wl.max_fault_tolerance = 0.02;
+  const auto jobs = workload::generate(wl);
+
+  const auto chaos = run_drill(jobs, /*with_faults=*/true);
+  if (args.get_bool("smoke", false)) {
+    std::printf("%s\n", chaos.report.robustness_to_string().c_str());
+    std::printf("jobs %zu/%zu, %llu injected faults\n", chaos.jobs_finished,
+                chaos.jobs_submitted,
+                static_cast<unsigned long long>(chaos.faults_injected));
+    return check_acceptance(chaos);
+  }
+
+  const auto calm = run_drill(jobs, /*with_faults=*/false);
+  support::TextTable table;
+  table.header(
+      {"scenario", "work / on", "CPU h", "kWh", "S(%)", "delay", "migr"});
+  table.add_row(bench::report_row("no injected faults", calm.report,
+                                  /*with_lambda=*/false,
+                                  /*with_migrations=*/true));
+  table.add_row(bench::report_row("chaos + recovery", chaos.report,
+                                  /*with_lambda=*/false,
+                                  /*with_migrations=*/true));
+  std::printf("%s\n", table.render().c_str());
+  std::printf("chaos run: %s\n", chaos.report.robustness_to_string().c_str());
+  std::printf("jobs %zu/%zu (calm %zu/%zu), %llu injected faults\n",
+              chaos.jobs_finished, chaos.jobs_submitted, calm.jobs_finished,
+              calm.jobs_submitted,
+              static_cast<unsigned long long>(chaos.faults_injected));
+  return check_acceptance(chaos);
+}

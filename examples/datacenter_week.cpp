@@ -9,10 +9,12 @@
 // Usage:
 //   datacenter_week [--policy SB] [--lmin 0.3] [--lmax 0.9] [--seed N]
 //                   [--swf path/to/trace.swf] [--csv]
+//                   [--faults "migrate.fail=0.05,lemon=3:8" | --faults file]
 #include <cstdio>
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
+#include "faults/fault_plan.hpp"
 #include "support/cli.hpp"
 #include "workload/swf.hpp"
 #include "workload/synthetic.hpp"
@@ -38,6 +40,9 @@ int main(int argc, char** argv) {
   config.policy = args.get("policy", "SB");
   config.driver.power.lambda_min = args.get_double("lmin", 0.30);
   config.driver.power.lambda_max = args.get_double("lmax", 0.90);
+  if (args.has("faults")) {
+    config.faults = faults::parse_fault_plan(args.get("faults", ""));
+  }
 
   const auto result = experiments::run_experiment(jobs, std::move(config));
   if (args.get_bool("csv", false)) {
@@ -53,6 +58,8 @@ int main(int argc, char** argv) {
                 result.jobs_finished, result.jobs_submitted,
                 static_cast<unsigned long long>(result.events_dispatched),
                 result.end_time_s / sim::kDay);
+    const std::string robustness = result.report.robustness_to_string();
+    if (!robustness.empty()) std::printf("%s\n", robustness.c_str());
   }
   return 0;
 }

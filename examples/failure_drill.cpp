@@ -7,10 +7,16 @@
 //   failure_drill                 -> SB-full (Pfault steers VMs to the
 //                                   reliable nodes, fewer restarts)
 //   failure_drill --policy SB     -> reliability-blind score policy
+//
+// Operation-level chaos (fault-injection layer) is scripted with --faults:
+//   failure_drill --faults="migrate.fail=0.05,create.hang=0.01,lemon=3:8"
+// or --faults=<file> with one key=value pair per line. Add --trace to dump
+// the deterministic fault event trace.
 #include <cstdio>
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
+#include "faults/fault_plan.hpp"
 #include "support/cli.hpp"
 #include "workload/synthetic.hpp"
 
@@ -44,10 +50,22 @@ int main(int argc, char** argv) {
   // A horizon guards against a pathological stall if the fleet melts down.
   config.horizon_s = 30 * sim::kDay;
 
+  if (args.has("faults")) {
+    config.faults = faults::parse_fault_plan(args.get("faults", ""));
+  }
+  const bool dump_trace = args.get_bool("trace", false);
+
   const auto result = experiments::run_experiment(jobs, std::move(config));
   std::printf("%s\n", result.report.to_string().c_str());
   std::printf("failures: %llu, jobs finished %zu/%zu\n",
               static_cast<unsigned long long>(result.report.failures),
               result.jobs_finished, result.jobs_submitted);
+  const std::string robustness = result.report.robustness_to_string();
+  if (!robustness.empty()) std::printf("%s\n", robustness.c_str());
+  if (dump_trace) {
+    for (const auto& line : result.fault_trace) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
   return 0;
 }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
 #include <limits>
 
 #include "datacenter/xen_scheduler.hpp"
+#include "faults/fault_injector.hpp"
 #include "support/contracts.hpp"
 #include "support/distributions.hpp"
 #include "workload/satisfaction.hpp"
@@ -219,11 +222,16 @@ void Datacenter::reallocate_io(HostId h) {
   const sim::SimTime t = sim_.now();
 
   // 1. Integrate progress of the active operations at their old rates.
+  // A hung operation holds its channel slot (a wedged transfer still
+  // occupies dom0) but accrues no progress and completes only through its
+  // deadline abort.
   int active = 0;
   for (auto& op : host.ops) {
     if (!op.io_active()) continue;
-    op.done_s += op.rate * (t - op.last_update);
-    op.done_s = std::min(op.done_s, op.work_s);
+    if (!op.hung) {
+      op.done_s += op.rate * (t - op.last_update);
+      op.done_s = std::min(op.done_s, op.work_s);
+    }
     op.last_update = t;
     ++active;
   }
@@ -236,6 +244,10 @@ void Datacenter::reallocate_io(HostId h) {
   // 3. Reschedule every active operation's completion.
   for (auto& op : host.ops) {
     if (!op.io_active()) continue;
+    if (op.hung) {
+      op.rate = 0;
+      continue;  // `ends` stays at the abort deadline set when armed
+    }
     op.rate = rate;
     sim_.cancel(op.event);
     const double eta = op.remaining_s() / rate;
@@ -248,6 +260,14 @@ void Datacenter::reallocate_io(HostId h) {
 }
 
 void Datacenter::complete_operation(HostId h, Operation::Kind kind, VmId v) {
+  // An operation with an injected failure runs its (shortened) course and
+  // then takes the failure path — a migration that dies at switchover, a
+  // creation that fails its health check.
+  if (const Operation* op = find_op(hosts_[h], kind, v);
+      op != nullptr && op->injected_fail) {
+    fail_operation(h, kind, v, /*timed_out=*/false);
+    return;
+  }
   switch (kind) {
     case Operation::Kind::kCreate:
       complete_creation(h, v);
@@ -343,7 +363,16 @@ void Datacenter::remove_op(Host& h, Operation::Kind kind, VmId v) {
       });
   EA_ASSERT(it != h.ops.end());
   sim_.cancel(it->event);
+  sim_.cancel(it->deadline_event);
   h.ops.erase(it);
+}
+
+Operation* Datacenter::find_op(Host& h, Operation::Kind kind, VmId v) {
+  const auto it =
+      std::find_if(h.ops.begin(), h.ops.end(), [&](const Operation& op) {
+        return op.kind == kind && op.vm == v;
+      });
+  return it == h.ops.end() ? nullptr : &*it;
 }
 
 void Datacenter::place(VmId v, HostId h) {
@@ -365,7 +394,9 @@ void Datacenter::place(VmId v, HostId h) {
   op.started = sim_.now();
   op.last_update = sim_.now();
   op.work_s = draw_duration(host.spec.creation_cost_s);
+  apply_injection(op, faults::FaultOp::kCreate, h);
   host.ops.push_back(op);
+  arm_op_deadline(h, host.spec.creation_cost_s);
   ++recorder_.counts.creations;
 
   reallocate_io(h);
@@ -423,7 +454,12 @@ void Datacenter::migrate(VmId v, HostId to) {
 
   Operation in_op = out_op;
   in_op.kind = Operation::Kind::kMigrateIn;
+  // Injection is attributed to the destination: it paces the transfer, so
+  // a lemon destination makes migrations into it flaky. Only the active
+  // (in) leg carries the flags; the passive out leg just burns dom0 CPU.
+  apply_injection(in_op, faults::FaultOp::kMigrate, to);
   dst.ops.push_back(in_op);
+  arm_op_deadline(to, dst.spec.migration_cost_s);
 
   ++recorder_.counts.migrations;
   ++m.migrations;
@@ -499,7 +535,9 @@ void Datacenter::maybe_checkpoint(Vm& v) {
   op.started = sim_.now();
   op.last_update = sim_.now();
   op.work_s = config_.checkpoint.duration_s;
+  apply_injection(op, faults::FaultOp::kCheckpoint, v.host);
   host.ops.push_back(op);
+  arm_op_deadline(v.host, config_.checkpoint.duration_s);
   reallocate_io(v.host);
   reallocate(v.host);
   update_node_counters();
@@ -528,15 +566,53 @@ void Datacenter::power_on(HostId h) {
   host.state = HostState::kBooting;
   update_power(host);
   ++recorder_.counts.turn_ons;
-  host.transition_event = sim_.after(host.spec.boot_time_s, [this, h] {
-    Host& hh = host_mut(h);
-    hh.state = HostState::kOn;
-    hh.transition_event = sim::kNoEvent;
-    update_power(hh);
-    if (config_.inject_failures) schedule_failure(h);
-    update_node_counters();
-    if (on_host_online) on_host_online(h);
-  });
+
+  double boot_s = host.spec.boot_time_s;
+  bool boot_will_fail = false;
+  bool boot_hangs = false;
+  if (config_.fault_injector != nullptr) {
+    const faults::FaultOutcome out =
+        config_.fault_injector->decide(faults::FaultOp::kPowerOn, h, sim_.now());
+    switch (out.kind) {
+      case faults::FaultOutcome::Kind::kNone:
+        break;
+      case faults::FaultOutcome::Kind::kFail:
+        // Boot runs part way and dies (kernel panic, POST failure).
+        boot_s = std::max(1.0, boot_s * out.fail_fraction);
+        boot_will_fail = true;
+        break;
+      case faults::FaultOutcome::Kind::kHang:
+        boot_hangs = true;  // only the boot deadline ends this
+        break;
+      case faults::FaultOutcome::Kind::kSlow:
+        boot_s *= out.slow_factor;
+        break;
+    }
+    // Failed-to-start watchdog: a host not On by the deadline is declared
+    // boot-failed and returned to Off.
+    const double deadline_s =
+        config_.fault_injector->plan().op_timeout_factor *
+        host.spec.boot_time_s;
+    host.boot_deadline_event =
+        sim_.after(deadline_s, [this, h] { boot_failed(h); });
+  }
+  if (!boot_hangs) {
+    host.transition_event = sim_.after(boot_s, [this, h, boot_will_fail] {
+      Host& hh = host_mut(h);
+      hh.transition_event = sim::kNoEvent;
+      if (boot_will_fail) {
+        boot_failed(h);
+        return;
+      }
+      sim_.cancel(hh.boot_deadline_event);
+      hh.boot_deadline_event = sim::kNoEvent;
+      hh.state = HostState::kOn;
+      update_power(hh);
+      if (config_.inject_failures) schedule_failure(h);
+      update_node_counters();
+      if (on_host_online) on_host_online(h);
+    });
+  }
   update_node_counters();
 }
 
@@ -547,10 +623,52 @@ void Datacenter::power_off(HostId h) {
   host.state = HostState::kShuttingDown;
   update_power(host);
   ++recorder_.counts.turn_offs;
-  host.transition_event = sim_.after(host.spec.shutdown_time_s, [this, h] {
+
+  double shutdown_s = host.spec.shutdown_time_s;
+  bool off_fails = false;
+  if (config_.fault_injector != nullptr) {
+    const faults::FaultOutcome out = config_.fault_injector->decide(
+        faults::FaultOp::kPowerOff, h, sim_.now());
+    switch (out.kind) {
+      case faults::FaultOutcome::Kind::kNone:
+        break;
+      case faults::FaultOutcome::Kind::kFail:
+        shutdown_s = std::max(1.0, shutdown_s * out.fail_fraction);
+        off_fails = true;
+        break;
+      case faults::FaultOutcome::Kind::kHang:
+        // A wedged shutdown lingers until the timeout, then is abandoned
+        // with the host still up.
+        off_fails = true;
+        shutdown_s =
+            config_.fault_injector->plan().op_timeout_factor * shutdown_s;
+        break;
+      case faults::FaultOutcome::Kind::kSlow:
+        shutdown_s *= out.slow_factor;
+        break;
+    }
+  }
+  host.transition_event = sim_.after(shutdown_s, [this, h, off_fails] {
     Host& hh = host_mut(h);
-    hh.state = HostState::kOff;
     hh.transition_event = sim::kNoEvent;
+    if (off_fails) {
+      // Shutdown failed: the host is still drawing power and reports back
+      // online so the power controller can fold it into future decisions.
+      hh.state = HostState::kOn;
+      update_power(hh);
+      ++recorder_.counts.op_failures;
+      record_fault_event("power-off-failed host=%u",
+                         static_cast<unsigned>(h));
+      note_host_fault(h);
+      if (config_.inject_failures) schedule_failure(h);
+      update_node_counters();
+      if (on_operation_failed)
+        on_operation_failed(faults::FaultOp::kPowerOff, kNoVm, h,
+                            /*timed_out=*/false);
+      if (on_host_online) on_host_online(h);
+      return;
+    }
+    hh.state = HostState::kOff;
     update_power(hh);
     update_node_counters();
     if (on_host_off) on_host_off(h);
@@ -610,7 +728,11 @@ void Datacenter::fail_host(HostId h) {
       remove_op(host_mut(m.migration_source), Operation::Kind::kMigrateOut, v);
       reallocate(m.migration_source);
     }
-    if (m.work_checkpointed_s > 0) ++recorder_.counts.checkpoint_recoveries;
+    if (m.work_checkpointed_s > 0) {
+      ++recorder_.counts.checkpoint_recoveries;
+    } else {
+      ++recorder_.counts.recreates;
+    }
     m.work_done_s = m.work_checkpointed_s;
     m.state = VmState::kQueued;
     m.host = kNoHost;
@@ -628,14 +750,18 @@ void Datacenter::fail_host(HostId h) {
   host.ops.clear();
   for (const auto& op : ops) {
     sim_.cancel(op.event);
+    sim_.cancel(op.deadline_event);
     if (op.kind == Operation::Kind::kMigrateOut) {
       Vm& m = vm_mut(op.vm);
       if (m.state == VmState::kMigrating) {
         const HostId dest = m.host;
         remove_op(host_mut(dest), Operation::Kind::kMigrateIn, op.vm);
         remove_resident(host_mut(dest), op.vm);
-        if (m.work_checkpointed_s > 0)
+        if (m.work_checkpointed_s > 0) {
           ++recorder_.counts.checkpoint_recoveries;
+        } else {
+          ++recorder_.counts.recreates;
+        }
         m.work_done_s = m.work_checkpointed_s;
         m.state = VmState::kQueued;
         m.host = kNoHost;
@@ -652,6 +778,9 @@ void Datacenter::fail_host(HostId h) {
   host.used_cpu_pct = 0;
   update_power(host);
   ++recorder_.counts.failures;
+  record_fault_event("host-crash host=%u lost=%zu", static_cast<unsigned>(h),
+                     lost.size());
+  note_host_fault(h);
 
   const double repair = failure_model_.draw_repair_time(rng_);
   host.transition_event = sim_.after(repair, [this, h] {
@@ -665,6 +794,200 @@ void Datacenter::fail_host(HostId h) {
 
   update_node_counters();
   if (on_host_failed) on_host_failed(h, lost);
+}
+
+void Datacenter::inject_host_failure(HostId h) {
+  if (hosts_[h].state != HostState::kOn) return;
+  cancel_failure(h);
+  fail_host(h);
+}
+
+// ---- fault-injection & recovery internals ---------------------------------
+
+void Datacenter::apply_injection(Operation& op, faults::FaultOp fop,
+                                 HostId h) {
+  if (config_.fault_injector == nullptr) return;
+  const faults::FaultOutcome out =
+      config_.fault_injector->decide(fop, h, sim_.now());
+  switch (out.kind) {
+    case faults::FaultOutcome::Kind::kNone:
+      break;
+    case faults::FaultOutcome::Kind::kFail:
+      // The operation runs part of its course and then dies (a migration
+      // failing at switchover, a creation flunking its health check):
+      // shorten the work and take the failure path at completion.
+      op.work_s = std::max(1.0, op.work_s * out.fail_fraction);
+      op.injected_fail = true;
+      break;
+    case faults::FaultOutcome::Kind::kHang:
+      op.hung = true;
+      break;
+    case faults::FaultOutcome::Kind::kSlow:
+      op.work_s *= out.slow_factor;
+      break;
+  }
+}
+
+void Datacenter::arm_op_deadline(HostId h, double mean_s) {
+  if (config_.fault_injector == nullptr) return;
+  Host& host = hosts_[h];
+  Operation& op = host.ops.back();
+  const double deadline_s =
+      config_.fault_injector->plan().op_timeout_factor * mean_s;
+  const Operation::Kind kind = op.kind;
+  const VmId v = op.vm;
+  op.deadline_event = sim_.after(
+      deadline_s, [this, h, kind, v] { op_deadline_expired(h, kind, v); });
+  // A hung operation never completes; its projected end — which feeds the
+  // Pconc concurrency penalty — is the abort deadline.
+  if (op.hung) op.ends = sim_.now() + deadline_s;
+}
+
+void Datacenter::op_deadline_expired(HostId h, Operation::Kind kind, VmId v) {
+  Operation* op = find_op(hosts_[h], kind, v);
+  if (op == nullptr) return;  // completed in the same timestamp
+  op->deadline_event = sim::kNoEvent;
+  fail_operation(h, kind, v, /*timed_out=*/true);
+}
+
+void Datacenter::fail_operation(HostId h, Operation::Kind kind, VmId v,
+                                bool timed_out) {
+  ++recorder_.counts.op_failures;
+  if (timed_out) ++recorder_.counts.op_timeouts;
+  const char* why = timed_out ? "timeout" : "op-failed";
+  faults::FaultOp fop = faults::FaultOp::kCreate;
+  switch (kind) {
+    case Operation::Kind::kCreate:
+      fop = faults::FaultOp::kCreate;
+      record_fault_event("%s create vm=%u host=%u", why,
+                         static_cast<unsigned>(v), static_cast<unsigned>(h));
+      fail_creation(h, v);
+      break;
+    case Operation::Kind::kMigrateIn:
+      fop = faults::FaultOp::kMigrate;
+      record_fault_event("%s migrate vm=%u dst=%u", why,
+                         static_cast<unsigned>(v), static_cast<unsigned>(h));
+      rollback_migration(v);
+      break;
+    case Operation::Kind::kCheckpoint:
+      fop = faults::FaultOp::kCheckpoint;
+      record_fault_event("%s checkpoint vm=%u host=%u", why,
+                         static_cast<unsigned>(v), static_cast<unsigned>(h));
+      fail_checkpoint(h, v);
+      break;
+    case Operation::Kind::kMigrateOut:
+      EA_ASSERT(false);  // passive leg carries no injection flags
+      return;
+  }
+  note_host_fault(h);
+  if (on_operation_failed) on_operation_failed(fop, v, h, timed_out);
+}
+
+void Datacenter::fail_creation(HostId h, VmId v) {
+  Vm& m = vm_mut(v);
+  Host& host = host_mut(h);
+  EA_ASSERT(m.state == VmState::kCreating && m.host == h);
+  remove_op(host, Operation::Kind::kCreate, v);
+  remove_resident(host, v);
+  m.state = VmState::kQueued;
+  m.host = kNoHost;
+  m.progress_rate = 0;
+  m.cpu_demand_pct = m.job.cpu_pct;
+  ++m.restarts;
+  reallocate_io(h);
+  reallocate(h);
+  update_node_counters();
+}
+
+void Datacenter::rollback_migration(VmId v) {
+  Vm& m = vm_mut(v);
+  EA_ASSERT(m.state == VmState::kMigrating && m.migration_source != kNoHost);
+  const HostId dst = m.host;
+  const HostId src = m.migration_source;
+  remove_op(host_mut(dst), Operation::Kind::kMigrateIn, v);
+  remove_op(host_mut(src), Operation::Kind::kMigrateOut, v);
+  remove_resident(host_mut(dst), v);
+  // The source still pins the VM's memory (via its migrate-out leg), so
+  // rollback is not a placement decision and needs no fits() check: the VM
+  // simply resumes where it was.
+  host_mut(src).residents.push_back(v);
+  m.host = src;
+  m.migration_source = kNoHost;
+  m.state = VmState::kRunning;
+  m.last_progress_update = sim_.now();
+  ++recorder_.counts.rollbacks;
+  reallocate_io(dst);
+  reallocate_io(src);
+  reallocate(dst);
+  reallocate(src);
+  update_node_counters();
+}
+
+void Datacenter::fail_checkpoint(HostId h, VmId v) {
+  // No snapshot is recorded; the previous checkpoint (if any) stays valid.
+  remove_op(host_mut(h), Operation::Kind::kCheckpoint, v);
+  reallocate_io(h);
+  reallocate(h);
+  update_node_counters();
+}
+
+void Datacenter::boot_failed(HostId h) {
+  Host& host = host_mut(h);
+  EA_ASSERT(host.state == HostState::kBooting);
+  sim_.cancel(host.transition_event);
+  host.transition_event = sim::kNoEvent;
+  sim_.cancel(host.boot_deadline_event);
+  host.boot_deadline_event = sim::kNoEvent;
+  host.state = HostState::kOff;
+  host.used_cpu_pct = 0;
+  update_power(host);
+  ++recorder_.counts.boot_failures;
+  record_fault_event("boot-failed host=%u", static_cast<unsigned>(h));
+  note_host_fault(h);
+  update_node_counters();
+  if (on_host_boot_failed) on_host_boot_failed(h);
+}
+
+void Datacenter::note_host_fault(HostId h) {
+  const QuarantinePolicy& q = config_.quarantine;
+  if (!q.enabled) return;
+  Host& host = host_mut(h);
+  if (host.quarantined) return;
+  const sim::SimTime now = sim_.now();
+  if (now - host.fault_window_start > q.window_s) {
+    // Sliding-window approximation: restart the window at the first fault
+    // after the previous window lapsed.
+    host.fault_window_start = now;
+    host.fault_count = 0;
+  }
+  ++host.fault_count;
+  if (host.fault_count < q.failure_budget) return;
+
+  host.quarantined = true;
+  ++recorder_.counts.quarantines;
+  record_fault_event("quarantine host=%u cooldown=%.0fs",
+                     static_cast<unsigned>(h), q.cooldown_s);
+  sim_.cancel(host.unquarantine_event);
+  host.unquarantine_event = sim_.after(q.cooldown_s, [this, h] {
+    Host& hh = host_mut(h);
+    hh.unquarantine_event = sim::kNoEvent;
+    hh.quarantined = false;
+    hh.fault_count = 0;
+    hh.fault_window_start = sim_.now();
+    record_fault_event("unquarantine host=%u", static_cast<unsigned>(h));
+    if (on_host_unquarantined) on_host_unquarantined(h);
+  });
+  if (on_host_quarantined) on_host_quarantined(h);
+}
+
+void Datacenter::record_fault_event(const char* fmt, ...) {
+  if (config_.fault_injector == nullptr) return;
+  char buf[160];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  config_.fault_injector->record(sim_.now(), buf);
 }
 
 }  // namespace easched::datacenter

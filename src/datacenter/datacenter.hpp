@@ -35,12 +35,28 @@
 #include "datacenter/host.hpp"
 #include "datacenter/ids.hpp"
 #include "datacenter/vm.hpp"
+#include "faults/fault_plan.hpp"
 #include "metrics/accumulators.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
 #include "workload/job.hpp"
 
+namespace easched::faults {
+class FaultInjector;
+}  // namespace easched::faults
+
 namespace easched::datacenter {
+
+/// Quarantine (degraded-mode) policy: a host accumulating
+/// `failure_budget` faults — crashes, failed/timed-out operations, missed
+/// boot deadlines — within `window_s` is exiled from placement and
+/// power-on choices for `cooldown_s`, then readmitted with a clean slate.
+struct QuarantinePolicy {
+  bool enabled = true;
+  int failure_budget = 3;
+  double window_s = 3600;
+  double cooldown_s = 1800;
+};
 
 struct DatacenterConfig {
   std::vector<HostSpec> hosts;
@@ -64,6 +80,13 @@ struct DatacenterConfig {
   double mean_repair_s = 2 * sim::kHour;
 
   CheckpointPolicy checkpoint;
+
+  /// Deterministic operation-level fault injection (see faults/). Not
+  /// owned; null disables injection entirely — no extra RNG draws, no
+  /// deadline events, bit-identical traces to a build without the layer.
+  faults::FaultInjector* fault_injector = nullptr;
+
+  QuarantinePolicy quarantine;
 
   std::uint64_t seed = 1;
 };
@@ -148,6 +171,11 @@ class Datacenter {
   /// (Xen's maximum).
   void boost_weight(VmId v, double factor);
 
+  /// Chaos/test hook: crashes an On host immediately, exactly as if the
+  /// FailureModel had struck (residents requeued, checkpoints restored,
+  /// repair scheduled). No-op unless the host is On.
+  void inject_host_failure(HostId h);
+
   // ---- notifications to the scheduler driver ------------------------------
 
   std::function<void(VmId)> on_vm_ready;     ///< creation completed
@@ -158,6 +186,16 @@ class Datacenter {
   std::function<void(HostId, std::vector<VmId>)> on_host_failed;
   std::function<void(HostId)> on_host_repaired;
 
+  /// A create/migrate/checkpoint operation failed or was aborted by its
+  /// deadline (`timed_out`). For creations the VM is back in Queued; for
+  /// migrations it has been rolled back to its source host. The driver
+  /// schedules the backoff-delayed retry.
+  std::function<void(faults::FaultOp, VmId, HostId, bool timed_out)>
+      on_operation_failed;
+  std::function<void(HostId)> on_host_boot_failed;  ///< missed boot deadline
+  std::function<void(HostId)> on_host_quarantined;
+  std::function<void(HostId)> on_host_unquarantined;
+
   /// Exposes the simulator (policies need now(); tests drive time).
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] const sim::Simulator& simulator() const noexcept {
@@ -167,6 +205,11 @@ class Datacenter {
     return config_;
   }
   [[nodiscard]] metrics::Recorder& recorder() noexcept { return recorder_; }
+
+  /// The attached fault injector (null when injection is disabled).
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept {
+    return config_.fault_injector;
+  }
 
  private:
   Host& host_mut(HostId h);
@@ -193,6 +236,29 @@ class Datacenter {
   void fail_host(HostId h);
   void maybe_checkpoint(Vm& v);
   double draw_duration(double mean_s);
+
+  // ---- fault-injection & recovery internals -------------------------------
+  /// Consults the injector for `op` on host `h` and applies the outcome to
+  /// a freshly drawn operation (shorten-and-flag for fail, hang flag,
+  /// stretched work for slow). No-op without an injector.
+  void apply_injection(Operation& op, faults::FaultOp fop, HostId h);
+  /// Arms the abort-at-timeout watchdog on the just-pushed operation
+  /// (deadline = plan.op_timeout_factor x `mean_s`). Injector-gated.
+  void arm_op_deadline(HostId h, double mean_s);
+  void op_deadline_expired(HostId h, Operation::Kind kind, VmId v);
+  /// Common failure path for create/migrate/checkpoint operations
+  /// (`timed_out` distinguishes deadline aborts from injected failures).
+  void fail_operation(HostId h, Operation::Kind kind, VmId v, bool timed_out);
+  void fail_creation(HostId h, VmId v);
+  void rollback_migration(VmId v);
+  void fail_checkpoint(HostId h, VmId v);
+  void boot_failed(HostId h);
+  /// Charges one fault against `h`'s failure budget; quarantines the host
+  /// when the budget is exceeded and schedules the cooldown.
+  void note_host_fault(HostId h);
+  /// Appends a recovery event line to the injector trace (if attached).
+  void record_fault_event(const char* fmt, ...);
+  Operation* find_op(Host& h, Operation::Kind kind, VmId v);
 
   sim::Simulator& sim_;
   DatacenterConfig config_;

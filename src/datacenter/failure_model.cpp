@@ -1,5 +1,6 @@
 #include "datacenter/failure_model.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "support/contracts.hpp"
@@ -7,11 +8,21 @@
 
 namespace easched::datacenter {
 
+namespace {
+/// Floor for the implied MTBF. Reliability -> 0 sends MTBF -> 0, which
+/// degenerates the exponential draw into "fails at every instant" and
+/// wedges the simulation in a fail/repair hot-loop; one second keeps the
+/// model meaningful ("this node is always broken") without the singularity.
+constexpr double kMinMtbfS = 1.0;
+}  // namespace
+
 double FailureModel::mtbf_s(double reliability) const {
-  EA_EXPECTS(reliability >= 0.0 && reliability <= 1.0);
-  if (reliability >= 1.0) return std::numeric_limits<double>::infinity();
-  if (reliability <= 0.0) return 0.0;
-  return mttr_s_ * reliability / (1.0 - reliability);
+  // Out-of-range factors are clamped rather than rejected: reliabilities
+  // estimated from observed uptime can drift past either boundary through
+  // measurement noise.
+  const double r = std::clamp(reliability, 0.0, 1.0);
+  if (r >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::max(kMinMtbfS, mttr_s_ * r / (1.0 - r));
 }
 
 double FailureModel::draw_time_to_failure(support::Rng& rng,
@@ -19,7 +30,6 @@ double FailureModel::draw_time_to_failure(support::Rng& rng,
   const double mtbf = mtbf_s(reliability);
   if (!(mtbf < std::numeric_limits<double>::infinity()))
     return std::numeric_limits<double>::infinity();
-  if (mtbf <= 0.0) return 0.0;
   return support::exponential(rng, 1.0 / mtbf);
 }
 

@@ -16,11 +16,13 @@ class FailureModel {
   /// `mean_repair_s` is the MTTR used to convert reliability into MTBF.
   explicit FailureModel(double mean_repair_s) : mttr_s_(mean_repair_s) {}
 
-  /// MTBF implied by a reliability factor; +inf for reliability >= 1.
+  /// MTBF implied by a reliability factor. The factor is clamped into
+  /// [0, 1]; values >= 1 yield +inf (never fails) and values <= 0 bottom
+  /// out at a one-second floor instead of the degenerate MTBF = 0.
   [[nodiscard]] double mtbf_s(double reliability) const;
 
   /// Draws the next time-to-failure [s] for a node of the given
-  /// reliability; +inf for a perfectly reliable node.
+  /// reliability; +inf for a perfectly reliable node, always > 0.
   double draw_time_to_failure(support::Rng& rng, double reliability) const;
 
   /// Draws a repair duration (exponential around MTTR).

@@ -49,6 +49,15 @@ struct Operation {
   sim::SimTime ends = 0;        ///< projected completion (updated on stretch)
   sim::EventId event = sim::kNoEvent;
 
+  // Fault-injection state (see faults/fault_injector.hpp). A hung op burns
+  // dom0 CPU but makes no progress and schedules no completion — only its
+  // deadline can end it. An op with injected_fail set completes its
+  // (shortened) work and then takes the failure path instead of the
+  // success path.
+  bool hung = false;
+  bool injected_fail = false;
+  sim::EventId deadline_event = sim::kNoEvent;  ///< abort-at-timeout
+
   // I/O-channel progress bookkeeping (active ops only).
   double work_s = 0;            ///< full-speed duration drawn at start
   double done_s = 0;            ///< progressed work
@@ -72,6 +81,10 @@ struct Host {
   /// Maintenance (drain) mode: the host accepts no new placements; the
   /// driver migrates its residents away and powers it off once empty.
   bool maintenance = false;
+  /// Quarantine (degraded mode): the host exceeded its failure budget and
+  /// is excluded from placement and power-on choices until the cooldown
+  /// un-quarantines it; the driver evacuates its residents meanwhile.
+  bool quarantined = false;
 
   /// VMs assigned here: Creating, Running, and incoming Migrating VMs.
   /// (An outgoing migration keeps only a memory reservation, tracked via
@@ -81,13 +94,21 @@ struct Host {
 
   double used_cpu_pct = 0;  ///< current allocation total (drives power)
   sim::EventId transition_event = sim::kNoEvent;  ///< boot/shutdown end
+  sim::EventId boot_deadline_event = sim::kNoEvent;  ///< failed-to-start watchdog
+
+  // Failure-budget bookkeeping for the quarantine state machine: faults
+  // attributed to this host within the sliding window, and the pending
+  // cooldown event while quarantined.
+  int fault_count = 0;
+  sim::SimTime fault_window_start = 0;
+  sim::EventId unquarantine_event = sim::kNoEvent;
 
   [[nodiscard]] bool is_online() const {
     return state == HostState::kOn || state == HostState::kBooting;
   }
   /// Accepts new placements / incoming migrations.
   [[nodiscard]] bool is_placeable() const {
-    return state == HostState::kOn && !maintenance;
+    return state == HostState::kOn && !maintenance && !quarantined;
   }
   /// "Working" in the paper's sense: executing at least one VM (we include
   /// hosts busy with management operations, which also keep them non-idle).

@@ -11,5 +11,6 @@ using HostId = std::uint32_t;
 using VmId = std::uint32_t;
 
 inline constexpr HostId kNoHost = ~HostId{0};
+inline constexpr VmId kNoVm = ~VmId{0};
 
 }  // namespace easched::datacenter

@@ -1,6 +1,9 @@
 #include "experiments/runner.hpp"
 
+#include <optional>
+
 #include "experiments/setup.hpp"
+#include "faults/fault_injector.hpp"
 #include "sim/simulator.hpp"
 #include "support/contracts.hpp"
 
@@ -11,6 +14,22 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
 
   sim::Simulator simulator;
   metrics::Recorder recorder(config.datacenter.hosts.size());
+
+  std::optional<faults::FaultInjector> injector;
+  if (config.faults.enabled) {
+    injector.emplace(config.faults);
+    config.datacenter.fault_injector = &*injector;
+    // The plan is the single source of truth for the recovery knobs.
+    config.datacenter.quarantine.failure_budget =
+        config.faults.quarantine_budget;
+    config.datacenter.quarantine.window_s = config.faults.quarantine_window_s;
+    config.datacenter.quarantine.cooldown_s =
+        config.faults.quarantine_cooldown_s;
+    config.driver.retry.base_s = config.faults.retry_base_s;
+    config.driver.retry.cap_s = config.faults.retry_cap_s;
+    config.driver.retry.jitter = config.faults.retry_jitter;
+  }
+
   datacenter::Datacenter dc(simulator, config.datacenter, recorder);
 
   std::unique_ptr<sched::Policy> policy =
@@ -37,6 +56,10 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
       make_report(recorder, simulator.now(), policy->name(),
                   config.driver.power.lambda_min,
                   config.driver.power.lambda_max);
+  if (injector) {
+    result.fault_trace = injector->trace();
+    result.faults_injected = injector->injected_count();
+  }
   return result;
 }
 

@@ -4,8 +4,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "datacenter/datacenter.hpp"
+#include "faults/fault_plan.hpp"
 #include "metrics/report.hpp"
 #include "sched/driver.hpp"
 #include "workload/job.hpp"
@@ -21,6 +23,12 @@ struct RunConfig {
   /// takes ownership.
   std::unique_ptr<sched::Policy> policy_instance;
 
+  /// Deterministic operation-fault injection (see faults/). When enabled
+  /// the runner owns a FaultInjector for the run's duration and copies the
+  /// plan's timeout/retry/quarantine knobs into the datacenter and driver
+  /// configs. Parse from a CLI `--faults=` spec with parse_fault_plan().
+  faults::FaultPlan faults;
+
   /// Hard simulation-time cap as a safety net against pathological stalls;
   /// runs normally end when the last job finishes. Zero disables the cap.
   sim::SimTime horizon_s = 0;
@@ -33,6 +41,12 @@ struct RunResult {
   std::uint64_t events_dispatched = 0;
   sim::SimTime end_time_s = 0;
   bool hit_horizon = false;
+
+  /// Chronological fault-event trace (injections, aborts, quarantines…);
+  /// empty unless the run had an injector. Bit-identical for identical
+  /// (plan, workload, config) — the determinism contract.
+  std::vector<std::string> fault_trace;
+  std::uint64_t faults_injected = 0;
 };
 
 /// Runs `jobs` under the configuration and returns the aggregated report.

@@ -100,6 +100,17 @@ struct Counters {
   std::uint64_t sla_alarms = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t checkpoint_recoveries = 0;
+  /// VMs recreated from scratch after a host failure because no checkpoint
+  /// existed (complement of checkpoint_recoveries).
+  std::uint64_t recreates = 0;
+
+  // ---- robustness counters (fault-injection & recovery layer) ----------
+  std::uint64_t op_failures = 0;    ///< actuator ops that failed partway
+  std::uint64_t op_timeouts = 0;    ///< ops aborted by their deadline
+  std::uint64_t retries = 0;        ///< backoff-delayed re-attempts scheduled
+  std::uint64_t rollbacks = 0;      ///< migrations rolled back to the source
+  std::uint64_t quarantines = 0;    ///< hosts exiled over the failure budget
+  std::uint64_t boot_failures = 0;  ///< hosts that missed their boot deadline
 };
 
 /// One bundle with every accumulator a run needs; the Datacenter feeds the
@@ -114,6 +125,11 @@ struct Recorder {
   TimeWeighted online;    ///< #hosts powered on (incl. booting)
   JobLog jobs;
   Counters counts;
+
+  /// Time-to-recover samples [s]: per disruption (host failure or failed
+  /// creation) the delay until the affected VM was running again. The
+  /// report aggregates these into p50/p95/max.
+  std::vector<double> recovery_s;
 
   /// Highest guest-demand/capacity ratio any host ever reached (1.0 =
   /// never oversubscribed; dom0 management overhead not counted).

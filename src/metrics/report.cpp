@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/stats.hpp"
+
 namespace easched::metrics {
 
 RunReport make_report(const Recorder& recorder, double end_s,
@@ -24,6 +26,21 @@ RunReport make_report(const Recorder& recorder, double end_s,
   r.turn_offs = recorder.counts.turn_offs;
   r.failures = recorder.counts.failures;
   r.jobs_finished = recorder.jobs.count();
+
+  r.op_failures = recorder.counts.op_failures;
+  r.op_timeouts = recorder.counts.op_timeouts;
+  r.retries = recorder.counts.retries;
+  r.rollbacks = recorder.counts.rollbacks;
+  r.quarantines = recorder.counts.quarantines;
+  r.boot_failures = recorder.counts.boot_failures;
+  r.checkpoint_recoveries = recorder.counts.checkpoint_recoveries;
+  r.recreates = recorder.counts.recreates;
+  r.recoveries = recorder.recovery_s.size();
+  if (!recorder.recovery_s.empty()) {
+    r.recovery_p50_s = support::percentile(recorder.recovery_s, 50);
+    r.recovery_p95_s = support::percentile(recorder.recovery_s, 95);
+    r.recovery_max_s = support::percentile(recorder.recovery_s, 100);
+  }
   return r;
 }
 
@@ -35,6 +52,29 @@ std::string RunReport::to_string() const {
                 policy.c_str(), lambda_min * 100, lambda_max * 100,
                 avg_working, avg_online, cpu_hours, energy_kwh, satisfaction,
                 delay_pct, static_cast<unsigned long long>(migrations));
+  return buf;
+}
+
+std::string RunReport::robustness_to_string() const {
+  if (op_failures == 0 && retries == 0 && quarantines == 0 &&
+      boot_failures == 0 && recoveries == 0) {
+    return {};
+  }
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "faults: op-fail %llu (timeout %llu)  retries %llu  rollbacks %llu  "
+      "quarantines %llu  boot-fail %llu  ckpt-restore/recreate %llu/%llu  "
+      "recover p50/p95/max %.0f/%.0f/%.0f s (n=%zu)",
+      static_cast<unsigned long long>(op_failures),
+      static_cast<unsigned long long>(op_timeouts),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(rollbacks),
+      static_cast<unsigned long long>(quarantines),
+      static_cast<unsigned long long>(boot_failures),
+      static_cast<unsigned long long>(checkpoint_recoveries),
+      static_cast<unsigned long long>(recreates), recovery_p50_s,
+      recovery_p95_s, recovery_max_s, recoveries);
   return buf;
 }
 

@@ -28,8 +28,26 @@ struct RunReport {
   std::uint64_t failures = 0;
   std::size_t jobs_finished = 0;
 
+  // ---- robustness (fault-injection & recovery layer) ---------------------
+  std::uint64_t op_failures = 0;
+  std::uint64_t op_timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t boot_failures = 0;
+  std::uint64_t checkpoint_recoveries = 0;
+  std::uint64_t recreates = 0;
+  std::size_t recoveries = 0;     ///< time-to-recover samples
+  double recovery_p50_s = 0;
+  double recovery_p95_s = 0;
+  double recovery_max_s = 0;
+
   /// One line in the style of the paper's tables.
   [[nodiscard]] std::string to_string() const;
+
+  /// One line with the robustness counters and time-to-recover percentiles
+  /// (empty when no faults were injected and nothing was recovered).
+  [[nodiscard]] std::string robustness_to_string() const;
 };
 
 /// Builds the report from a recorder at measurement end time `end_s`.

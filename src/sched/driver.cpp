@@ -1,6 +1,7 @@
 #include "sched/driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <tuple>
 
 #include "support/contracts.hpp"
@@ -57,24 +58,57 @@ SchedulerDriver::SchedulerDriver(sim::Simulator& simulator,
       config_(config),
       power_(config.power),
       adaptive_(config.adaptive, config.power),
-      rng_(config.seed) {
+      rng_(config.seed),
+      retry_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
   dc_.on_vm_finished = [this](VmId v) {
     ++finished_;
     round();
     if (on_job_finished) on_job_finished(v);
     if (all_done() && on_all_done) on_all_done();
   };
-  dc_.on_vm_ready = [this](VmId) { round(); };
-  dc_.on_migration_done = [this](VmId) { round(); };
+  dc_.on_vm_ready = [this](VmId v) {
+    note_recovered(v);
+    round();
+  };
+  dc_.on_migration_done = [this](VmId v) {
+    // A completed migration ends any migrate-retry episode.
+    if (v < retry_.size()) retry_[v] = RetryState{};
+    round();
+  };
   dc_.on_host_online = [this](HostId) { round(); };
   dc_.on_host_off = [this](HostId) { /* no round needed */ };
   dc_.on_host_repaired = [this](HostId) { round(); };
   dc_.on_host_failed = [this](HostId, std::vector<VmId> lost) {
     // Failed VMs return to the virtual host with priority (they already
     // held resources); re-scheduling is a new round (section III-A).
+    for (VmId v : lost) mark_disrupted(v);
     queue_.insert(queue_.begin(), lost.begin(), lost.end());
     round();
   };
+  dc_.on_operation_failed = [this](faults::FaultOp op, VmId v, HostId,
+                                   bool) {
+    switch (op) {
+      case faults::FaultOp::kCreate:
+        // The Datacenter already put the VM back in Queued; re-enter the
+        // virtual host with priority and gate the next attempt.
+        queue_.insert(queue_.begin(), v);
+        schedule_retry(v, /*track_recovery=*/true);
+        break;
+      case faults::FaultOp::kMigrate:
+        // Rolled back to the source: the VM keeps running, but further
+        // migrations of it are backed off.
+        schedule_retry(v, /*track_recovery=*/false);
+        break;
+      case faults::FaultOp::kCheckpoint:
+      case faults::FaultOp::kPowerOn:
+      case faults::FaultOp::kPowerOff:
+        break;  // periodic/controller-driven; no per-VM retry
+    }
+    round();
+  };
+  dc_.on_host_boot_failed = [this](HostId) { round(); };
+  dc_.on_host_quarantined = [this](HostId) { round(); };  // start evacuating
+  dc_.on_host_unquarantined = [this](HostId) { round(); };
 
   if (config_.controller_period_s > 0) {
     sim_.every(config_.controller_period_s, [this] { round(); });
@@ -143,6 +177,7 @@ void SchedulerDriver::apply(const std::vector<Action>& actions) {
         // Validate defensively: the policy may have raced a state change
         // (e.g. two actions for one VM).
         if (vm.state != VmState::kQueued) break;
+        if (in_backoff(a.vm)) break;
         if (dc_.host(a.host).state != datacenter::HostState::kOn) break;
         if (!dc_.fits_memory(a.host, a.vm)) break;
         remove_from_queue(a.vm);
@@ -152,6 +187,7 @@ void SchedulerDriver::apply(const std::vector<Action>& actions) {
       case Action::Kind::kMigrate:
         if (!policy_.uses_migration()) break;
         if (vm.state != VmState::kRunning || vm.host == a.host) break;
+        if (in_backoff(a.vm)) break;
         if (dc_.host(a.host).state != datacenter::HostState::kOn) break;
         if (!dc_.fits_memory(a.host, a.vm)) break;
         dc_.migrate(a.vm, a.host);
@@ -197,11 +233,68 @@ void SchedulerDriver::round() {
                        });
       break;
   }
-  SchedContext ctx{dc_, queue_, rng_};
+  // Hold VMs serving a retry backoff out of this round's view. The common
+  // (fault-free) path hands the policy the live queue unfiltered so the
+  // no-injector behaviour is bit-identical.
+  const std::vector<VmId>* view = &queue_;
+  if (backoff_count() > 0) {
+    eligible_.clear();
+    for (VmId v : queue_) {
+      if (!in_backoff(v)) eligible_.push_back(v);
+    }
+    view = &eligible_;
+  }
+  SchedContext ctx{dc_, *view, rng_};
   apply(policy_.schedule(ctx));
   progress_drains();
+  evacuate_quarantined();
   power_.update(ctx, dc_, policy_);
   in_round_ = false;
+}
+
+std::size_t SchedulerDriver::backoff_count() const {
+  std::size_t n = 0;
+  for (const RetryState& r : retry_) {
+    if (r.not_before > sim_.now()) ++n;
+  }
+  return n;
+}
+
+SchedulerDriver::RetryState& SchedulerDriver::retry_state(VmId v) {
+  if (v >= retry_.size()) retry_.resize(v + 1);
+  return retry_[v];
+}
+
+bool SchedulerDriver::in_backoff(VmId v) const {
+  return v < retry_.size() && retry_[v].not_before > sim_.now();
+}
+
+void SchedulerDriver::schedule_retry(VmId v, bool track_recovery) {
+  RetryState& r = retry_state(v);
+  ++r.attempts;
+  if (track_recovery && r.failed_at < 0) r.failed_at = sim_.now();
+  const RetryPolicy& rp = config_.retry;
+  const double exponential =
+      rp.base_s * std::pow(2.0, static_cast<double>(r.attempts - 1));
+  const double delay = std::min(rp.cap_s, exponential) *
+                       (1.0 + rp.jitter * retry_rng_.uniform01());
+  r.not_before = sim_.now() + delay;
+  ++dc_.recorder().counts.retries;
+  sim_.after(delay, [this] { round(); });
+}
+
+void SchedulerDriver::mark_disrupted(VmId v) {
+  RetryState& r = retry_state(v);
+  if (r.failed_at < 0) r.failed_at = sim_.now();
+}
+
+void SchedulerDriver::note_recovered(VmId v) {
+  if (v >= retry_.size()) return;
+  RetryState& r = retry_[v];
+  if (r.failed_at >= 0) {
+    dc_.recorder().recovery_s.push_back(sim_.now() - r.failed_at);
+  }
+  r = RetryState{};
 }
 
 void SchedulerDriver::drain_host(datacenter::HostId h) {
@@ -237,10 +330,31 @@ void SchedulerDriver::progress_drains() {
     const std::vector<VmId> residents = host.residents;  // copy: mutation
     for (VmId v : residents) {
       if (dc_.vm(v).state != VmState::kRunning) continue;
+      if (in_backoff(v)) continue;  // its last migration just failed
       const datacenter::HostId target = policies_best_fit(v);
       if (target != datacenter::kNoHost) dc_.migrate(v, target);
     }
     ++i;
+  }
+}
+
+void SchedulerDriver::evacuate_quarantined() {
+  // Degraded-mode scheduling: live-migrate residents off quarantined hosts
+  // as capacity allows. Unlike a drain the host is not powered off here —
+  // the cooldown decides when it may serve again (the controller may still
+  // shed it once idle).
+  for (datacenter::HostId h = 0; h < dc_.num_hosts(); ++h) {
+    const auto& host = dc_.host(h);
+    if (!host.quarantined || host.state != datacenter::HostState::kOn) {
+      continue;
+    }
+    const std::vector<VmId> residents = host.residents;  // copy: mutation
+    for (VmId v : residents) {
+      if (dc_.vm(v).state != VmState::kRunning) continue;
+      if (in_backoff(v)) continue;
+      const datacenter::HostId target = policies_best_fit(v);
+      if (target != datacenter::kNoHost) dc_.migrate(v, target);
+    }
   }
 }
 

@@ -33,8 +33,18 @@ enum class QueueOrder : std::uint8_t {
 
 const char* to_string(QueueOrder order) noexcept;
 
+/// Capped exponential backoff with jitter for re-attempting failed
+/// operations: attempt n waits min(cap, base * 2^(n-1)) * (1 + jitter*U).
+struct RetryPolicy {
+  double base_s = 5;
+  double cap_s = 300;
+  double jitter = 0.5;
+};
+
 struct DriverConfig {
   PowerControllerConfig power;
+
+  RetryPolicy retry;
 
   QueueOrder queue_order = QueueOrder::kFifo;
 
@@ -116,14 +126,35 @@ class SchedulerDriver {
     return power_.config();
   }
 
+  /// VMs currently serving a post-failure backoff delay (their retry is
+  /// scheduled but not yet due). Exposed for tests.
+  [[nodiscard]] std::size_t backoff_count() const;
+
  private:
+  /// Per-VM recovery bookkeeping for the fault-injection layer.
+  struct RetryState {
+    int attempts = 0;              ///< consecutive failed attempts
+    sim::SimTime not_before = 0;   ///< backoff gate for the next attempt
+    sim::SimTime failed_at = -1;   ///< first disruption of this episode
+  };
+
   void on_arrival(const workload::Job& job);
   void apply(const std::vector<Action>& actions);
   void sla_scan();
   void adaptive_window();
   void progress_drains();
+  void evacuate_quarantined();
   datacenter::HostId policies_best_fit(datacenter::VmId v);
   void remove_from_queue(datacenter::VmId v);
+  RetryState& retry_state(datacenter::VmId v);
+  [[nodiscard]] bool in_backoff(datacenter::VmId v) const;
+  /// Schedules the backoff-delayed re-attempt after a failed operation.
+  /// `track_recovery` stamps the episode start so on_vm_ready can sample
+  /// the time-to-recover (placements only; migration rollbacks leave the
+  /// VM running, so there is nothing to recover from).
+  void schedule_retry(datacenter::VmId v, bool track_recovery);
+  void mark_disrupted(datacenter::VmId v);
+  void note_recovered(datacenter::VmId v);
 
   sim::Simulator& sim_;
   datacenter::Datacenter& dc_;
@@ -133,7 +164,13 @@ class SchedulerDriver {
   AdaptiveThresholds adaptive_;
   std::size_t jobs_seen_by_adaptive_ = 0;
   support::Rng rng_;
+  /// Independent stream for backoff jitter: drawing retry delays must not
+  /// perturb the policy RNG, or enabling fault injection would shift every
+  /// later scheduling decision.
+  support::Rng retry_rng_;
   std::vector<datacenter::VmId> queue_;
+  std::vector<datacenter::VmId> eligible_;  ///< round scratch: queue_ minus backoff
+  std::vector<RetryState> retry_;
   std::vector<datacenter::HostId> draining_;
   std::vector<bool> boosted_;  ///< per-VM: demand already boosted
   std::size_t submitted_ = 0;

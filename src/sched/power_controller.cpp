@@ -16,7 +16,10 @@ std::vector<HostId> hosts_off(const Datacenter& dc) {
   std::vector<HostId> out;
   for (HostId h = 0; h < dc.num_hosts(); ++h) {
     const auto& host = dc.host(h);
-    if (host.state == HostState::kOff && !host.maintenance) out.push_back(h);
+    if (host.state == HostState::kOff && !host.maintenance &&
+        !host.quarantined) {
+      out.push_back(h);
+    }
   }
   return out;
 }

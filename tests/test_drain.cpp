@@ -112,6 +112,42 @@ TEST(Drain, CancelRestoresPlaceability) {
   (void)v;
 }
 
+TEST(Drain, CancelDuringPendingMigrationStrandsNothing) {
+  DrainHarness f(2);
+  const VmId v = f.admit_and_place(make_job(100, 512, 50000), 0);
+  f.simulator.run_until(100.0);  // creation (40 s) done, running
+  f.driver->drain_host(0);       // starts the evacuation migration (60 s)
+  ASSERT_EQ(f.dc.vm(v).state, VmState::kMigrating);
+
+  f.simulator.run_until(130.0);  // transfer still in flight
+  ASSERT_EQ(f.dc.vm(v).state, VmState::kMigrating);
+  f.driver->cancel_drain(0);
+
+  // The cancel must take effect immediately: the host accepts placements
+  // again (the pending outgoing transfer is no reason to refuse work).
+  EXPECT_FALSE(f.driver->is_draining(0));
+  EXPECT_TRUE(f.dc.host(0).is_placeable());
+
+  // The in-flight migration still completes normally; the VM is never
+  // stranded in the Migrating state or bounced back to the queue.
+  f.simulator.run_until(1000.0);
+  EXPECT_EQ(f.dc.vm(v).state, VmState::kRunning);
+  EXPECT_EQ(f.dc.vm(v).host, 1u);
+
+  // And the cancelled host keeps serving: a new job can land on it.
+  workload::Workload jobs;
+  workload::Job j = make_job(100, 512, 500);
+  j.submit = 1100;
+  jobs.push_back(j);
+  f.driver->submit_workload(jobs);
+  f.simulator.run_until(1200.0);
+  bool placed_somewhere = false;
+  for (VmId u = 0; u < f.dc.num_vms(); ++u) {
+    if (u != v && f.dc.vm(u).state != VmState::kQueued) placed_somewhere = true;
+  }
+  EXPECT_TRUE(placed_somewhere);
+}
+
 TEST(Drain, IsIdempotent) {
   DrainHarness f(2);
   f.driver->drain_host(0);

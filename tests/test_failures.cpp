@@ -29,6 +29,41 @@ TEST(FailureModel, PerfectReliabilityNeverFails) {
   EXPECT_TRUE(std::isinf(fm.draw_time_to_failure(rng, 1.0)));
 }
 
+TEST(FailureModel, ZeroReliabilityFloorsMtbf) {
+  FailureModel fm(3600);
+  // Frel -> 0 sends MTBF -> 0; the model floors it at a small positive
+  // value so the exponential draw never degenerates to "fails at t+0".
+  EXPECT_GT(fm.mtbf_s(0.0), 0.0);
+  support::Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double ttf = fm.draw_time_to_failure(rng, 0.0);
+    EXPECT_GT(ttf, 0.0);
+    EXPECT_TRUE(std::isfinite(ttf));
+  }
+}
+
+TEST(FailureModel, OutOfRangeReliabilityIsClamped) {
+  FailureModel fm(3600);
+  // Estimation noise can push a measured factor past either boundary;
+  // clamp instead of rejecting.
+  EXPECT_DOUBLE_EQ(fm.mtbf_s(-0.5), fm.mtbf_s(0.0));
+  EXPECT_TRUE(std::isinf(fm.mtbf_s(1.5)));
+  support::Rng rng{12};
+  EXPECT_TRUE(std::isinf(fm.draw_time_to_failure(rng, 2.0)));
+  EXPECT_GT(fm.draw_time_to_failure(rng, -1.0), 0.0);
+}
+
+TEST(FailureModel, BoundariesBracketInteriorMtbf) {
+  FailureModel fm(3600);
+  // MTBF is monotone in reliability between the boundary cases.
+  const double lo = fm.mtbf_s(0.0);
+  const double mid = fm.mtbf_s(0.5);
+  const double hi = fm.mtbf_s(0.999);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+  EXPECT_LT(hi, fm.mtbf_s(1.0));
+}
+
 TEST(FailureModel, DrawMeansMatchMtbf) {
   FailureModel fm(3600);
   support::Rng rng{2};
@@ -213,6 +248,68 @@ TEST(Failures, MigrationSourceDiesTransferAborts) {
     // be in a consistent state: never stuck Migrating forever.
     EXPECT_NE(dc.vm(v).state, VmState::kMigrating);
   }
+}
+
+// ---- deterministic mid-run kill: checkpoint recovery ------------------------
+
+TEST(Failures, MidRunKillResumesFromLastCheckpoint) {
+  DatacenterConfig config;
+  config.hosts.assign(1, HostSpec::medium());
+  config.duration_sigma_ratio = 0;
+  config.checkpoint.enabled = true;
+  config.checkpoint.period_s = 100;
+  config.checkpoint.duration_s = 1;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(1);
+  Datacenter dc(simulator, config, recorder);
+
+  const auto v = dc.admit_job(make_job(100, 512, 10000));
+  dc.place(v, 0);
+  simulator.run_until(500.0);
+  ASSERT_EQ(dc.vm(v).state, VmState::kRunning);
+  ASSERT_GT(recorder.counts.checkpoints, 0u);
+
+  dc.inject_host_failure(0);
+
+  // The VM resumed from its last snapshot: progress was preserved and the
+  // lost work is bounded by one checkpoint period (plus the snapshot time
+  // and the periodic scan's half-period granularity).
+  const auto& vm = dc.vm(v);
+  EXPECT_EQ(vm.state, VmState::kQueued);
+  EXPECT_GT(vm.work_done_s, 0.0);
+  const double creation_s = dc.host(0).spec.creation_cost_s;
+  const double worked_s = 500.0 - creation_s;  // sole VM: full progress rate
+  const double lost_s = worked_s - vm.work_done_s;
+  EXPECT_GE(lost_s, 0.0);
+  EXPECT_LE(lost_s,
+            config.checkpoint.period_s + config.checkpoint.duration_s + 60.0);
+  EXPECT_EQ(recorder.counts.checkpoint_recoveries, 1u);
+  EXPECT_EQ(recorder.counts.recreates, 0u);
+}
+
+TEST(Failures, MidRunKillWithoutCheckpointsRecreatesFromScratch) {
+  DatacenterConfig config;
+  config.hosts.assign(2, HostSpec::medium());
+  config.duration_sigma_ratio = 0;
+  sim::Simulator simulator;
+  metrics::Recorder recorder(2);
+  Datacenter dc(simulator, config, recorder);
+
+  const auto v = dc.admit_job(make_job(100, 512, 1000));
+  dc.place(v, 0);
+  simulator.run_until(500.0);
+  ASSERT_EQ(dc.vm(v).state, VmState::kRunning);
+
+  dc.inject_host_failure(0);
+  EXPECT_EQ(dc.vm(v).state, VmState::kQueued);
+  EXPECT_DOUBLE_EQ(dc.vm(v).work_done_s, 0.0);  // no snapshot to restore
+  EXPECT_EQ(recorder.counts.recreates, 1u);
+  EXPECT_EQ(recorder.counts.checkpoint_recoveries, 0u);
+
+  // The recreated VM still runs to completion on the surviving host.
+  dc.place(v, 1);
+  simulator.run();
+  EXPECT_EQ(dc.vm(v).state, VmState::kFinished);
 }
 
 TEST(Failures, FailureDuringCreationRequeues) {

@@ -10,6 +10,7 @@
 
 #include "core/hill_climb.hpp"
 #include "core/score_matrix.hpp"
+#include "faults/fault_injector.hpp"
 #include "test_fixtures.hpp"
 
 namespace easched::datacenter {
@@ -17,9 +18,27 @@ namespace {
 
 using easched::testing::make_job;
 
+/// An aggressive operation-fault mix for the chaos variants: every actuator
+/// operation can fail, hang or run slow, and host 2 is a lemon.
+faults::FaultPlan make_chaos_plan(std::uint64_t seed) {
+  faults::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed * 31 + 5;
+  plan.spec(faults::FaultOp::kCreate) = {0.10, 0.05, 0.10, 2.5};
+  plan.spec(faults::FaultOp::kMigrate) = {0.12, 0.06, 0.10, 2.5};
+  plan.spec(faults::FaultOp::kPowerOn) = {0.08, 0.04, 0.05, 2.0};
+  plan.spec(faults::FaultOp::kPowerOff) = {0.08, 0.04, 0.0, 1.0};
+  plan.spec(faults::FaultOp::kCheckpoint) = {0.15, 0.05, 0.0, 1.0};
+  plan.lemons.push_back({2, 5.0});
+  plan.quarantine_window_s = 1200;
+  plan.quarantine_cooldown_s = 600;
+  return plan;
+}
+
 class Fuzzer {
  public:
-  explicit Fuzzer(std::uint64_t seed, bool failures)
+  explicit Fuzzer(std::uint64_t seed, bool failures,
+                  const faults::FaultPlan* plan = nullptr)
       : rng_(seed), recorder_(kHosts) {
     DatacenterConfig config;
     config.hosts.assign(kHosts, HostSpec::medium());
@@ -34,9 +53,23 @@ class Fuzzer {
     config.checkpoint.period_s = 120;
     config.checkpoint.duration_s = 3;
     config.seed = seed ^ 0x5eed;
+    if (plan != nullptr && plan->enabled) {
+      injector_ = std::make_unique<faults::FaultInjector>(*plan);
+      config.fault_injector = injector_.get();
+      config.quarantine.failure_budget = plan->quarantine_budget;
+      config.quarantine.window_s = plan->quarantine_window_s;
+      config.quarantine.cooldown_s = plan->quarantine_cooldown_s;
+    }
     dc_ = std::make_unique<Datacenter>(simulator_, config, recorder_);
     dc_->on_host_failed = [this](HostId, std::vector<VmId> lost) {
       for (VmId v : lost) queued_.push_back(v);
+    };
+    // A failed/aborted creation hands the VM back to the queue; track it so
+    // it can be re-placed (the stranded-VM invariant below relies on every
+    // requeue path reporting back, mirroring what the driver does).
+    dc_->on_operation_failed = [this](faults::FaultOp op, VmId v, HostId,
+                                      bool) {
+      if (op == faults::FaultOp::kCreate) queued_.push_back(v);
     };
   }
 
@@ -167,6 +200,8 @@ class Fuzzer {
       }
       // Memory reservations never exceed physical memory.
       ASSERT_LE(dc_->reserved_mem_mb(h), host.spec.mem_mb + 1e-6);
+      // A quarantined host is never offered to placement.
+      if (host.quarantined) ASSERT_FALSE(host.is_placeable());
       // Operation records refer to live VMs in matching states.
       for (const auto& op : host.ops) {
         const Vm& vm = dc_->vm(op.vm);
@@ -187,6 +222,9 @@ class Fuzzer {
         }
         ASSERT_GE(op.done_s, -1e9);
         ASSERT_LE(op.done_s, op.work_s + 1e-6);
+        // A hung operation always has its abort deadline armed: nothing
+        // can wedge forever.
+        if (op.hung) ASSERT_NE(op.deadline_event, sim::kNoEvent);
       }
       // Power meter matches the host state.
       const double watts = recorder_.watts.host_current(h);
@@ -211,6 +249,13 @@ class Fuzzer {
       ASSERT_LE(vm.work_checkpointed_s, vm.work_done_s + 1e-6);
       ASSERT_GE(vm.progress_rate, 0.0);
       ASSERT_LE(vm.progress_rate, 1.0 + 1e-9);
+      if (vm.state == VmState::kQueued) {
+        // No stranded VM: every path that hands a VM back (host crash,
+        // failed or timed-out creation) must report it, or it would sit
+        // queued forever with nobody retrying the placement.
+        ASSERT_NE(std::find(queued_.begin(), queued_.end(), v), queued_.end())
+            << "VM " << v << " queued but untracked";
+      }
       if (vm.state == VmState::kQueued || vm.state == VmState::kFinished) {
         ASSERT_EQ(vm.host, kNoHost);
       } else {
@@ -228,6 +273,7 @@ class Fuzzer {
   support::Rng rng_;
   sim::Simulator simulator_;
   metrics::Recorder recorder_;
+  std::unique_ptr<faults::FaultInjector> injector_;  // outlives dc_
   std::unique_ptr<Datacenter> dc_;
   std::vector<VmId> queued_;
 };
@@ -241,7 +287,8 @@ class Fuzzer {
 ///    negative for it (the climber must have taken that placement).
 class SchedulingFuzzer {
  public:
-  explicit SchedulingFuzzer(std::uint64_t seed)
+  explicit SchedulingFuzzer(std::uint64_t seed,
+                            const faults::FaultPlan* plan = nullptr)
       : rng_(seed), recorder_(kHosts) {
     DatacenterConfig config;
     config.hosts.assign(kHosts, HostSpec::medium());
@@ -254,9 +301,20 @@ class SchedulingFuzzer {
     config.checkpoint.period_s = 150;
     config.checkpoint.duration_s = 3;
     config.seed = seed ^ 0xf00d;
+    if (plan != nullptr && plan->enabled) {
+      injector_ = std::make_unique<faults::FaultInjector>(*plan);
+      config.fault_injector = injector_.get();
+      config.quarantine.failure_budget = plan->quarantine_budget;
+      config.quarantine.window_s = plan->quarantine_window_s;
+      config.quarantine.cooldown_s = plan->quarantine_cooldown_s;
+    }
     dc_ = std::make_unique<Datacenter>(simulator_, config, recorder_);
     dc_->on_host_failed = [this](HostId, std::vector<VmId> lost) {
       for (VmId v : lost) queued_.push_back(v);
+    };
+    dc_->on_operation_failed = [this](faults::FaultOp op, VmId v, HostId,
+                                      bool) {
+      if (op == faults::FaultOp::kCreate) queued_.push_back(v);
     };
     params_.use_virt = true;
     params_.use_conc = true;
@@ -324,6 +382,9 @@ class SchedulingFuzzer {
       const HostId h = model.host_at(planned);
       if (dc_->host(h).state != HostState::kOn) continue;
       if (!dc_->fits_memory(h, v)) continue;
+      // fits_memory() rejecting quarantined hosts is what keeps degraded
+      // nodes out of placement; a validated action must never target one.
+      ASSERT_FALSE(dc_->host(h).quarantined);
       if (model.original_row(c) == model.virtual_row()) {
         if (dc_->vm(v).state != VmState::kQueued) continue;
         queued_.erase(std::find(queued_.begin(), queued_.end(), v));
@@ -351,6 +412,7 @@ class SchedulingFuzzer {
   support::Rng rng_;
   sim::Simulator simulator_;
   metrics::Recorder recorder_;
+  std::unique_ptr<faults::FaultInjector> injector_;  // outlives dc_
   std::unique_ptr<Datacenter> dc_;
   std::vector<VmId> queued_;
   core::ScoreParams params_;
@@ -372,6 +434,29 @@ TEST_P(FuzzDatacenter, InvariantsHoldWithFailureInjection) {
 
 TEST_P(FuzzDatacenter, SchedulingRoundsWithFailuresKeepInvariants) {
   SchedulingFuzzer fuzzer(GetParam() * 104729 + 11);
+  for (int i = 0; i < 40; ++i) fuzzer.step(i);
+}
+
+// Chaos variant: deterministic operation-fault injection (fail / hang /
+// slow on every actuator op, plus a lemon host) interleaved with the random
+// actuator calls AND the host-crash failure model. The structural
+// invariants must hold throughout: no over-commit, no stranded queued VM,
+// no placements onto quarantined hosts, no operation wedged without an
+// armed abort deadline.
+TEST_P(FuzzDatacenter, InjectedOperationFaultsKeepInvariants) {
+  const faults::FaultPlan plan = make_chaos_plan(GetParam());
+  Fuzzer fuzzer(GetParam() * 271 + 9, /*failures=*/true, &plan);
+  for (int i = 0; i < 600; ++i) fuzzer.step();
+  fuzzer.drain();
+}
+
+// Same chaos plan under full scheduling rounds: the solver plans over a
+// system where creations fail, migrations roll back and hosts get
+// quarantined mid-round; the capacity and placement-validity properties
+// must survive.
+TEST_P(FuzzDatacenter, SchedulingRoundsWithInjectedOperationFaults) {
+  const faults::FaultPlan plan = make_chaos_plan(GetParam() ^ 0xfau);
+  SchedulingFuzzer fuzzer(GetParam() * 104729 + 13, &plan);
   for (int i = 0; i < 40; ++i) fuzzer.step(i);
 }
 
