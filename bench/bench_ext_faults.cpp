@@ -75,8 +75,10 @@ int main(int argc, char** argv) {
   wl.max_fault_tolerance = 0.02;
   const auto jobs = workload::generate(wl);
 
+  const bool smoke = args.get_bool("smoke", false);
+  args.warn_unrecognized();
   const auto chaos = run_drill(jobs, /*with_faults=*/true);
-  if (args.get_bool("smoke", false)) {
+  if (smoke) {
     std::printf("%s\n", chaos.report.robustness_to_string().c_str());
     std::printf("jobs %zu/%zu, %llu injected faults\n", chaos.jobs_finished,
                 chaos.jobs_submitted,

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   const auto jobs = bench::week_workload();
   const double step = args.get_bool("fast", false) ? 0.40 : 0.20;
+  args.warn_unrecognized();
 
   std::vector<double> lmins, lmaxs;
   for (double l = 0.10; l <= 0.901; l += step) lmins.push_back(l);

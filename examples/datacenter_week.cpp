@@ -10,11 +10,14 @@
 //   datacenter_week [--policy SB] [--lmin 0.3] [--lmax 0.9] [--seed N]
 //                   [--swf path/to/trace.swf] [--csv]
 //                   [--faults "migrate.fail=0.05,lemon=3:8" | --faults file]
+//                   [--trace=out.jsonl] [--trace-format=jsonl|chrome]
+//                   [--metrics-out=metrics.json] [--profile]
 #include <cstdio>
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/obs_cli.hpp"
 #include "support/cli.hpp"
 #include "workload/swf.hpp"
 #include "workload/synthetic.hpp"
@@ -43,9 +46,17 @@ int main(int argc, char** argv) {
   if (args.has("faults")) {
     config.faults = faults::parse_fault_plan(args.get("faults", ""));
   }
+  const bool csv = args.get_bool("csv", false);
+  const obs::ObsOptions obs_opts = obs::options_from_cli(args);
+  args.warn_unrecognized();
+  obs::Observability observability;
+  if (obs::wants_observability(obs_opts)) {
+    obs::configure(observability, obs_opts);
+    config.obs = &observability;
+  }
 
   const auto result = experiments::run_experiment(jobs, std::move(config));
-  if (args.get_bool("csv", false)) {
+  if (csv) {
     const auto& r = result.report;
     std::printf("policy,lmin,lmax,work,on,cpu_h,kwh,s,delay,migrations\n");
     std::printf("%s,%.2f,%.2f,%.2f,%.2f,%.1f,%.1f,%.2f,%.2f,%llu\n",
@@ -61,5 +72,6 @@ int main(int argc, char** argv) {
     const std::string robustness = result.report.robustness_to_string();
     if (!robustness.empty()) std::printf("%s\n", robustness.c_str());
   }
+  obs::finish(observability, obs_opts);
   return 0;
 }

@@ -10,13 +10,16 @@
 //
 // Operation-level chaos (fault-injection layer) is scripted with --faults:
 //   failure_drill --faults="migrate.fail=0.05,create.hang=0.01,lemon=3:8"
-// or --faults=<file> with one key=value pair per line. Add --trace to dump
-// the deterministic fault event trace.
+// or --faults=<file> with one key=value pair per line. Add --fault-trace to
+// dump the deterministic fault event trace; --trace=<path> (with
+// --trace-format=, --metrics-out=, --profile) writes the structured
+// observability outputs instead.
 #include <cstdio>
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/obs_cli.hpp"
 #include "support/cli.hpp"
 #include "workload/synthetic.hpp"
 
@@ -53,7 +56,14 @@ int main(int argc, char** argv) {
   if (args.has("faults")) {
     config.faults = faults::parse_fault_plan(args.get("faults", ""));
   }
-  const bool dump_trace = args.get_bool("trace", false);
+  const bool dump_trace = args.get_bool("fault-trace", false);
+  const obs::ObsOptions obs_opts = obs::options_from_cli(args);
+  args.warn_unrecognized();
+  obs::Observability observability;
+  if (obs::wants_observability(obs_opts)) {
+    obs::configure(observability, obs_opts);
+    config.obs = &observability;
+  }
 
   const auto result = experiments::run_experiment(jobs, std::move(config));
   std::printf("%s\n", result.report.to_string().c_str());
@@ -67,5 +77,6 @@ int main(int argc, char** argv) {
       std::printf("%s\n", line.c_str());
     }
   }
+  obs::finish(observability, obs_opts);
   return 0;
 }

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   workload::SyntheticConfig wl;
   wl.seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
   wl.span_seconds = args.get_double("days", 2) * sim::kDay;
+  args.warn_unrecognized();
   const auto jobs = workload::generate(wl);
   std::printf("dispatch policy: %s, %zu jobs\n\n",
               geo::to_string(config.dispatch), jobs.size());

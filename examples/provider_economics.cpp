@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   metrics::CostModelConfig pricing;
   pricing.energy_price_eur_kwh = args.get_double("price", 0.12);
   pricing.revenue_eur_core_hour = args.get_double("revenue", 0.08);
+  args.warn_unrecognized();
   const auto cost = metrics::price_run(recorder, simulator.now(), pricing);
   const auto report = metrics::make_report(
       recorder, simulator.now(), policy->name(),

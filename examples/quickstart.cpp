@@ -6,10 +6,13 @@
 //   workload  ->  Datacenter + SchedulerDriver(policy)  ->  RunReport
 //
 // Usage: quickstart [--policy SB|BF|RD|RR|DBF|SB0|SB1|SB2] [--seed N]
+//                    [--trace=out.jsonl] [--trace-format=jsonl|chrome]
+//                    [--metrics-out=metrics.json] [--profile]
 #include <cstdio>
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
+#include "obs/obs_cli.hpp"
 #include "support/cli.hpp"
 #include "workload/synthetic.hpp"
 
@@ -44,11 +47,21 @@ int main(int argc, char** argv) {
   config.driver.power.lambda_min = 0.30;
   config.driver.power.lambda_max = 0.90;
 
+  // 4. Optional observability: --trace/--metrics-out/--profile.
+  const obs::ObsOptions obs_opts = obs::options_from_cli(args);
+  args.warn_unrecognized();
+  obs::Observability observability;
+  if (obs::wants_observability(obs_opts)) {
+    obs::configure(observability, obs_opts);
+    config.obs = &observability;
+  }
+
   const auto result = experiments::run_experiment(jobs, std::move(config));
   std::printf("%s\n", result.report.to_string().c_str());
   std::printf("jobs finished: %zu/%zu, events: %llu, simulated %.1f h\n",
               result.jobs_finished, result.jobs_submitted,
               static_cast<unsigned long long>(result.events_dispatched),
               result.end_time_s / sim::kHour);
+  obs::finish(observability, obs_opts);
   return 0;
 }

@@ -1,16 +1,122 @@
-// Workload tooling: synthesise a Grid-like trace and write it as SWF, or
-// inspect an existing SWF file's aggregate statistics.
+// Workload and run-trace tooling: synthesise a Grid-like trace and write
+// it as SWF, inspect an existing SWF file's aggregate statistics, or work
+// with the observability layer's run traces (obs/trace.hpp).
 //
 // Usage:
 //   trace_tool generate --out trace.swf [--days 7] [--jobs-per-hour 11.5]
 //                       [--seed N]
 //   trace_tool inspect --swf trace.swf
+//   trace_tool summarize --trace run.jsonl     # JSONL run trace tallies
+//   trace_tool validate --trace run.json       # Chrome trace_event check
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "workload/swf.hpp"
 #include "workload/synthetic.hpp"
+
+namespace {
+
+/// Extracts the string value of `"key":"..."` from one JSONL event line.
+/// The trace writer never emits escaped quotes in kind/label values, so a
+/// plain scan is exact for the fields we tally.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto begin = pos + needle.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string::npos) return {};
+  return line.substr(begin, end - begin);
+}
+
+/// Per-policy decision / migration / power-cycle tallies of one run trace.
+struct PolicyTally {
+  std::uint64_t placements = 0;
+  std::uint64_t migration_decisions = 0;
+  std::uint64_t migrations_done = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t power_ons = 0;
+  std::uint64_t power_offs = 0;
+  std::uint64_t events = 0;
+};
+
+int summarize_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  // Tallies keyed by policy: a JSONL file may concatenate several runs,
+  // each opened by a run_begin event labelled with its policy.
+  std::map<std::string, PolicyTally> tallies;
+  std::string policy = "(no run-begin)";
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::string kind = json_field(line, "kind");
+    if (kind == "run-begin") {
+      const std::string label = json_field(line, "label");
+      policy = label.empty() ? "(unnamed)" : label;
+    }
+    PolicyTally& t = tallies[policy];
+    ++t.events;
+    if (kind == "decision") {
+      if (json_field(line, "label") == "migrate") {
+        ++t.migration_decisions;
+      } else {
+        ++t.placements;
+      }
+    } else if (kind == "migrate-done") {
+      ++t.migrations_done;
+    } else if (kind == "migrate-rollback") {
+      ++t.rollbacks;
+    } else if (kind == "power-on") {
+      ++t.power_ons;
+    } else if (kind == "power-off") {
+      ++t.power_offs;
+    }
+  }
+  std::printf("%s: %llu events\n", path.c_str(),
+              static_cast<unsigned long long>(lines));
+  std::printf("%-12s %10s %10s %10s %10s %10s %10s\n", "policy", "place",
+              "mig-dec", "mig-done", "rollback", "pwr-on", "pwr-off");
+  for (const auto& [name, t] : tallies) {
+    std::printf("%-12s %10llu %10llu %10llu %10llu %10llu %10llu\n",
+                name.c_str(), static_cast<unsigned long long>(t.placements),
+                static_cast<unsigned long long>(t.migration_decisions),
+                static_cast<unsigned long long>(t.migrations_done),
+                static_cast<unsigned long long>(t.rollbacks),
+                static_cast<unsigned long long>(t.power_ons),
+                static_cast<unsigned long long>(t.power_offs));
+  }
+  return 0;
+}
+
+int validate_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!easched::obs::validate_chrome_trace(buf.str(), &error)) {
+    std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid Chrome trace_event JSON\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace easched;
@@ -18,12 +124,23 @@ int main(int argc, char** argv) {
   const std::string mode =
       args.positional().empty() ? "generate" : args.positional().front();
 
+  if (mode == "summarize" || mode == "validate") {
+    const std::string path = args.get("trace", "");
+    args.warn_unrecognized();
+    if (path.empty() || path == "true") {
+      std::fprintf(stderr, "trace_tool %s --trace <file>\n", mode.c_str());
+      return 2;
+    }
+    return mode == "summarize" ? summarize_trace(path) : validate_trace(path);
+  }
+
   if (mode == "inspect") {
     const std::string path = args.get("swf", "");
     if (path.empty()) {
       std::fprintf(stderr, "trace_tool inspect --swf <file>\n");
       return 2;
     }
+    args.warn_unrecognized();
     const auto jobs = workload::read_swf_file(path);
     std::printf("%s\n",
                 workload::describe(workload::compute_stats(jobs)).c_str());
@@ -35,11 +152,13 @@ int main(int argc, char** argv) {
     wl.seed = static_cast<std::uint64_t>(args.get_int("seed", 20071001));
     wl.span_seconds = args.get_double("days", 7) * sim::kDay;
     wl.mean_jobs_per_hour = args.get_double("jobs-per-hour", 11.5);
+    const std::string out_path = args.get("out", "");
+    args.warn_unrecognized();
     const auto jobs = workload::generate(wl);
     std::printf("%s\n",
                 workload::describe(workload::compute_stats(jobs)).c_str());
 
-    const std::string out = args.get("out", "");
+    const std::string& out = out_path;
     if (!out.empty()) {
       std::ofstream f(out);
       if (!f) {
@@ -52,6 +171,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr, "unknown mode '%s' (generate|inspect)\n", mode.c_str());
+  std::fprintf(stderr,
+               "unknown mode '%s' (generate|inspect|summarize|validate)\n",
+               mode.c_str());
   return 2;
 }

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
               workload::describe(workload::compute_stats(jobs)).c_str());
 
   const int steps = static_cast<int>(args.get_int("steps", 4));
+  const std::string policy = args.get("policy", "SB");
+  args.warn_unrecognized();
   std::vector<double> lmins, lmaxs;
   for (int i = 0; i < steps; ++i) {
     lmins.push_back(0.10 + 0.80 * i / (steps - 1));  // 10 % .. 90 %
@@ -52,7 +54,7 @@ int main(int argc, char** argv) {
       }
       experiments::RunConfig config;
       config.datacenter = experiments::evaluation_datacenter(wl.seed);
-      config.policy = args.get("policy", "SB");
+      config.policy = policy;
       config.driver.power.lambda_min = ln;
       config.driver.power.lambda_max = lx;
       const auto result = experiments::run_experiment(jobs, std::move(config));

@@ -1,8 +1,10 @@
 #include "core/score_based_policy.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/hill_climb.hpp"
+#include "obs/obs.hpp"
 #include "support/contracts.hpp"
 
 namespace easched::core {
@@ -63,20 +65,31 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
       now - last_consolidation_ >= config_.migration_period_s;
   if (consolidate) last_consolidation_ = now;
 
-  ScoreModel model(ctx.dc, ctx.queue, config_.params, consolidate, pool());
-  if (config_.solver == MatrixSolver::kAnnealing) {
-    // Deterministic per round: derive the walk seed from the clock.
-    AnnealingParams params = config_.annealing;
-    params.seed ^= static_cast<std::uint64_t>(now * 1000.0);
-    anneal(model, params);
-    last_stats_ = {};
-  } else {
-    HillClimbLimits limits;
-    limits.max_moves = config_.max_moves;
-    limits.max_migration_moves = config_.max_migrations_per_round;
-    limits.min_migration_gain = config_.min_migration_gain;
-    limits.pool = pool();
-    last_stats_ = hill_climb(model, limits);
+  obs::PhaseProfiler* prof = obs::profiler(ctx.dc.recorder());
+  std::optional<ScoreModel> model_storage;
+  {
+    obs::PhaseProfiler::Scope scope(prof, obs::Phase::kRebuild);
+    model_storage.emplace(ctx.dc, ctx.queue, config_.params, consolidate,
+                          pool());
+  }
+  ScoreModel& model = *model_storage;
+  model.set_profiler(prof);
+  {
+    obs::PhaseProfiler::Scope scope(prof, obs::Phase::kClimb);
+    if (config_.solver == MatrixSolver::kAnnealing) {
+      // Deterministic per round: derive the walk seed from the clock.
+      AnnealingParams params = config_.annealing;
+      params.seed ^= static_cast<std::uint64_t>(now * 1000.0);
+      anneal(model, params);
+      last_stats_ = {};
+    } else {
+      HillClimbLimits limits;
+      limits.max_moves = config_.max_moves;
+      limits.max_migration_moves = config_.max_migrations_per_round;
+      limits.min_migration_gain = config_.min_migration_gain;
+      limits.pool = pool();
+      last_stats_ = hill_climb(model, limits);
+    }
   }
 
   std::vector<sched::Action> actions;
@@ -88,13 +101,39 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
     if (planned == model.virtual_row()) continue;  // annealing may evict
     const datacenter::VmId v = model.vm_at(c);
     const datacenter::HostId h = model.host_at(planned);
+    bool emitted = false;
     if (original == model.virtual_row()) {
       actions.push_back(sched::Action::place(v, h));
+      emitted = true;
     } else if (migrations_emitted < config_.max_migrations_per_round) {
       // The hill climber enforces the migration budget internally; the
       // annealing plan is capped here.
       actions.push_back(sched::Action::migrate(v, h));
       ++migrations_emitted;
+      emitted = true;
+    }
+    if (emitted) {
+      if (auto* tr = obs::tracer(ctx.dc.recorder())) {
+        // Winning-score attribution, evaluated under the final plan (the
+        // VM is planned on `planned`, everyone else where the solver left
+        // them) — the configuration the actuated decision commits to.
+        const ScoreBreakdown b = model.breakdown(planned, c);
+        auto& e = tr->emit(now, obs::EventKind::kDecision);
+        e.vm = v;
+        e.host = h;
+        if (original != model.virtual_row()) {
+          e.host2 = model.host_at(original);
+        }
+        e.label = original == model.virtual_row() ? "place" : "migrate";
+        e.arg("req", b.req)
+            .arg("res", b.res)
+            .arg("virt", b.virt)
+            .arg("conc", b.conc)
+            .arg("pwr", b.pwr)
+            .arg("sla", b.sla)
+            .arg("fault", b.fault)
+            .arg("total", b.total);
+      }
     }
   }
   return actions;

@@ -192,6 +192,75 @@ double ScoreModel::recompute_cell(int r, int c) const {
   return score_cell(r, c);
 }
 
+ScoreBreakdown ScoreModel::breakdown(int r, int c) const {
+  EA_EXPECTS(r >= 0 && r < rows());
+  EA_EXPECTS(c >= 0 && c < cols());
+  ScoreBreakdown b;
+  if (r == virtual_row()) {
+    b.req = kInfScore;
+    b.total = kInfScore;
+    return b;
+  }
+  // Term-for-term mirror of score_cell(): same expressions, same
+  // accumulation order, so the left-to-right sum of the terms reproduces
+  // cell(r, c) bit for bit.
+  const HostRow& h = hosts_[static_cast<std::size_t>(r)];
+  const VmCol& v = vms_[static_cast<std::size_t>(c)];
+  const StaticTerms& st = static_terms_[at(r, c)];
+  if (!st.compat) {
+    b.req = kInfScore;
+    b.total = kInfScore;
+    return b;
+  }
+  const bool planned_here = v.planned == r;
+  const bool home = v.original == r;
+  const double cpu = h.cpu_res + (planned_here ? 0.0 : v.cpu);
+  const double mem = h.mem_res + (planned_here ? 0.0 : v.mem);
+  const double occupation = std::max(cpu / h.cpu_cap, mem / h.mem_cap);
+  b.res = p_res(occupation);
+  if (is_inf_score(b.res)) {
+    b.total = kInfScore;
+    return b;
+  }
+  double s = b.res;
+  if (params_.use_virt) {
+    b.virt = st.virt;
+    s += b.virt;
+  }
+  if (params_.use_conc) {
+    b.conc = st.conc;
+    s += b.conc;
+  }
+  if (params_.use_pwr) {
+    const int count_wo_vm = h.vm_count - (planned_here ? 1 : 0);
+    b.pwr = p_pwr(count_wo_vm, params_.th_empty, params_.c_empty, occupation,
+                  params_.c_fill);
+    s += b.pwr;
+  }
+  if (params_.use_sla) {
+    double demand = h.running_demand + h.mgmt_demand;
+    if (!planned_here) demand += v.cpu;
+    const double rate = demand <= h.cpu_cap || demand <= 0
+                            ? 1.0
+                            : h.cpu_cap / demand;
+    const double transfer =
+        v.is_new ? h.creation_cost : (home ? 0.0 : h.migration_cost);
+    const double projected =
+        v.elapsed_s + transfer + v.remaining_work_s / rate;
+    const double fulfilment =
+        workload::satisfaction(std::max(projected, 0.0), v.deadline_s) /
+        100.0;
+    b.sla = p_sla(fulfilment, params_.th_sla, params_.c_sla);
+    s += b.sla;
+  }
+  if (params_.use_fault) {
+    b.fault = st.fault;
+    s += b.fault;
+  }
+  b.total = std::min(s, kInfScore);
+  return b;
+}
+
 double ScoreModel::score_cell(int r, int c) const {
   const HostRow& h = hosts_[static_cast<std::size_t>(r)];
   const VmCol& v = vms_[static_cast<std::size_t>(c)];
@@ -279,8 +348,11 @@ ScoreModel::Dirty ScoreModel::move(int r, int c) {
     new_row.running_demand += v.cpu;
   }
   v.planned = r;
-  if (dirty.row_a >= 0) invalidate_row(dirty.row_a);
-  if (dirty.row_b >= 0) invalidate_row(dirty.row_b);
+  {
+    obs::PhaseProfiler::Scope scope(profiler_, obs::Phase::kInvalidate);
+    if (dirty.row_a >= 0) invalidate_row(dirty.row_a);
+    if (dirty.row_b >= 0) invalidate_row(dirty.row_b);
+  }
   return dirty;
 }
 

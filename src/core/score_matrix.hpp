@@ -29,10 +29,27 @@
 #include "core/score.hpp"
 #include "datacenter/datacenter.hpp"
 #include "datacenter/ids.hpp"
+#include "obs/profiler.hpp"
 
 namespace easched::core {
 
 class SolverPool;
+
+/// Score(h, vm) split into its per-penalty terms. For a finite cell the
+/// left-to-right sum req+res+virt+conc+pwr+sla+fault equals `total` exactly
+/// (same accumulation order as the evaluation); an incompatible or
+/// over-occupied cell short-circuits with req / res at kInfScore and
+/// total == kInfScore. Terms whose use_* switch is off are 0.
+struct ScoreBreakdown {
+  double req = 0;
+  double res = 0;
+  double virt = 0;
+  double conc = 0;
+  double pwr = 0;
+  double sla = 0;
+  double fault = 0;
+  double total = 0;
+};
 
 class ScoreModel {
  public:
@@ -64,6 +81,18 @@ class ScoreModel {
   /// updating) the cache. Same arithmetic as cell(); exposed so the
   /// property tests can assert cache/fresh equality at zero tolerance.
   [[nodiscard]] double recompute_cell(int r, int c) const;
+
+  /// Per-penalty decomposition of Score(r, c) under the current plan —
+  /// the score-attribution payload of kDecision trace events. Mirrors
+  /// score_cell() term for term; breakdown(r, c).total == cell(r, c)
+  /// exactly (the obs tests hold this).
+  [[nodiscard]] ScoreBreakdown breakdown(int r, int c) const;
+
+  /// Attaches a phase profiler (not owned; may be null) so move()'s
+  /// dirty-row invalidations are timed under Phase::kInvalidate.
+  void set_profiler(obs::PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
 
   /// Evaluates every cell into the cache, partitioned by rows over the
   /// pool when one was supplied (the "initial matrix build" sweep). A
@@ -150,6 +179,7 @@ class ScoreModel {
   void invalidate_row(int r);
 
   ScoreParams params_;
+  obs::PhaseProfiler* profiler_ = nullptr;  ///< not owned; may be null
   std::vector<HostRow> hosts_;
   std::vector<VmCol> vms_;
   std::vector<StaticTerms> static_terms_;   ///< (rows-1) x cols

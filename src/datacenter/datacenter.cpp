@@ -8,6 +8,7 @@
 
 #include "datacenter/xen_scheduler.hpp"
 #include "faults/fault_injector.hpp"
+#include "obs/obs.hpp"
 #include "support/contracts.hpp"
 #include "support/distributions.hpp"
 #include "workload/satisfaction.hpp"
@@ -18,6 +19,16 @@ namespace {
 constexpr double kEps = 1e-9;
 /// Slack tolerated when asserting a finish event hit zero remaining work.
 constexpr double kFinishSlack = 1e-3;
+
+const char* outcome_name(faults::FaultOutcome::Kind k) {
+  switch (k) {
+    case faults::FaultOutcome::Kind::kNone: return "none";
+    case faults::FaultOutcome::Kind::kFail: return "fail";
+    case faults::FaultOutcome::Kind::kHang: return "hang";
+    case faults::FaultOutcome::Kind::kSlow: return "slow";
+  }
+  return "?";
+}
 }  // namespace
 
 Datacenter::Datacenter(sim::Simulator& simulator, DatacenterConfig config,
@@ -398,6 +409,11 @@ void Datacenter::place(VmId v, HostId h) {
   host.ops.push_back(op);
   arm_op_deadline(h, host.spec.creation_cost_s);
   ++recorder_.counts.creations;
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kCreateStart);
+    e.vm = v;
+    e.host = h;
+  }
 
   reallocate_io(h);
   reallocate(h);
@@ -408,6 +424,15 @@ void Datacenter::complete_creation(HostId h, VmId v) {
   Vm& m = vm_mut(v);
   Host& host = host_mut(h);
   EA_ASSERT(m.state == VmState::kCreating && m.host == h);
+  if (auto* tr = obs::tracer(recorder_)) {
+    sim::SimTime started = sim_.now();
+    if (const Operation* op = find_op(host, Operation::Kind::kCreate, v)) {
+      started = op->started;
+    }
+    auto& e = tr->span(started, sim_.now(), obs::EventKind::kVmReady);
+    e.vm = v;
+    e.host = h;
+  }
   // Do not cancel our own (already fired) event: remove_op cancels a
   // kNoEvent-safe handle because cancel() ignores fired events.
   remove_op(host, Operation::Kind::kCreate, v);
@@ -463,6 +488,12 @@ void Datacenter::migrate(VmId v, HostId to) {
 
   ++recorder_.counts.migrations;
   ++m.migrations;
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kMigrateStart);
+    e.vm = v;
+    e.host = to;
+    e.host2 = from;
+  }
 
   reallocate_io(to);
   reallocate(from);
@@ -474,6 +505,17 @@ void Datacenter::complete_migration(HostId from, HostId to, VmId v) {
   Vm& m = vm_mut(v);
   EA_ASSERT(m.state == VmState::kMigrating && m.host == to &&
             m.migration_source == from);
+  if (auto* tr = obs::tracer(recorder_)) {
+    sim::SimTime started = sim_.now();
+    if (const Operation* op =
+            find_op(host_mut(to), Operation::Kind::kMigrateIn, v)) {
+      started = op->started;
+    }
+    auto& e = tr->span(started, sim_.now(), obs::EventKind::kMigrateDone);
+    e.vm = v;
+    e.host = to;
+    e.host2 = from;
+  }
   remove_op(host_mut(from), Operation::Kind::kMigrateOut, v);
   remove_op(host_mut(to), Operation::Kind::kMigrateIn, v);
   m.state = VmState::kRunning;
@@ -508,6 +550,12 @@ void Datacenter::finish_vm(VmId v) {
   rec.delay_pct = workload::delay_pct(exec, rec.dedicated_seconds);
   rec.cpu_pct = m.job.cpu_pct;
   recorder_.jobs.add(rec);
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kJobFinished);
+    e.vm = v;
+    e.host = m.host;
+    e.arg("satisfaction", rec.satisfaction).arg("delay_pct", rec.delay_pct);
+  }
 
   const HostId h = m.host;
   remove_resident(host_mut(h), v);
@@ -566,6 +614,10 @@ void Datacenter::power_on(HostId h) {
   host.state = HostState::kBooting;
   update_power(host);
   ++recorder_.counts.turn_ons;
+  const sim::SimTime boot_began = sim_.now();
+  if (auto* tr = obs::tracer(recorder_)) {
+    tr->emit(boot_began, obs::EventKind::kPowerOn).host = h;
+  }
 
   double boot_s = host.spec.boot_time_s;
   bool boot_will_fail = false;
@@ -573,6 +625,13 @@ void Datacenter::power_on(HostId h) {
   if (config_.fault_injector != nullptr) {
     const faults::FaultOutcome out =
         config_.fault_injector->decide(faults::FaultOp::kPowerOn, h, sim_.now());
+    if (out.kind != faults::FaultOutcome::Kind::kNone) {
+      if (auto* tr = obs::tracer(recorder_)) {
+        auto& e = tr->emit(sim_.now(), obs::EventKind::kFaultInjected);
+        e.host = h;
+        e.label = outcome_name(out.kind);
+      }
+    }
     switch (out.kind) {
       case faults::FaultOutcome::Kind::kNone:
         break;
@@ -597,7 +656,8 @@ void Datacenter::power_on(HostId h) {
         sim_.after(deadline_s, [this, h] { boot_failed(h); });
   }
   if (!boot_hangs) {
-    host.transition_event = sim_.after(boot_s, [this, h, boot_will_fail] {
+    host.transition_event =
+        sim_.after(boot_s, [this, h, boot_will_fail, boot_began] {
       Host& hh = host_mut(h);
       hh.transition_event = sim::kNoEvent;
       if (boot_will_fail) {
@@ -608,6 +668,9 @@ void Datacenter::power_on(HostId h) {
       hh.boot_deadline_event = sim::kNoEvent;
       hh.state = HostState::kOn;
       update_power(hh);
+      if (auto* tr = obs::tracer(recorder_)) {
+        tr->span(boot_began, sim_.now(), obs::EventKind::kHostOnline).host = h;
+      }
       if (config_.inject_failures) schedule_failure(h);
       update_node_counters();
       if (on_host_online) on_host_online(h);
@@ -623,12 +686,23 @@ void Datacenter::power_off(HostId h) {
   host.state = HostState::kShuttingDown;
   update_power(host);
   ++recorder_.counts.turn_offs;
+  const sim::SimTime shutdown_began = sim_.now();
+  if (auto* tr = obs::tracer(recorder_)) {
+    tr->emit(shutdown_began, obs::EventKind::kPowerOff).host = h;
+  }
 
   double shutdown_s = host.spec.shutdown_time_s;
   bool off_fails = false;
   if (config_.fault_injector != nullptr) {
     const faults::FaultOutcome out = config_.fault_injector->decide(
         faults::FaultOp::kPowerOff, h, sim_.now());
+    if (out.kind != faults::FaultOutcome::Kind::kNone) {
+      if (auto* tr = obs::tracer(recorder_)) {
+        auto& e = tr->emit(sim_.now(), obs::EventKind::kFaultInjected);
+        e.host = h;
+        e.label = outcome_name(out.kind);
+      }
+    }
     switch (out.kind) {
       case faults::FaultOutcome::Kind::kNone:
         break;
@@ -648,7 +722,8 @@ void Datacenter::power_off(HostId h) {
         break;
     }
   }
-  host.transition_event = sim_.after(shutdown_s, [this, h, off_fails] {
+  host.transition_event =
+      sim_.after(shutdown_s, [this, h, off_fails, shutdown_began] {
     Host& hh = host_mut(h);
     hh.transition_event = sim::kNoEvent;
     if (off_fails) {
@@ -659,6 +734,11 @@ void Datacenter::power_off(HostId h) {
       ++recorder_.counts.op_failures;
       record_fault_event("power-off-failed host=%u",
                          static_cast<unsigned>(h));
+      if (auto* tr = obs::tracer(recorder_)) {
+        auto& e = tr->emit(sim_.now(), obs::EventKind::kOpFailed);
+        e.host = h;
+        e.label = "power_off";
+      }
       note_host_fault(h);
       if (config_.inject_failures) schedule_failure(h);
       update_node_counters();
@@ -670,6 +750,9 @@ void Datacenter::power_off(HostId h) {
     }
     hh.state = HostState::kOff;
     update_power(hh);
+    if (auto* tr = obs::tracer(recorder_)) {
+      tr->span(shutdown_began, sim_.now(), obs::EventKind::kHostOff).host = h;
+    }
     update_node_counters();
     if (on_host_off) on_host_off(h);
   });
@@ -780,6 +863,11 @@ void Datacenter::fail_host(HostId h) {
   ++recorder_.counts.failures;
   record_fault_event("host-crash host=%u lost=%zu", static_cast<unsigned>(h),
                      lost.size());
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kHostFailed);
+    e.host = h;
+    e.arg("lost", static_cast<double>(lost.size()));
+  }
   note_host_fault(h);
 
   const double repair = failure_model_.draw_repair_time(rng_);
@@ -788,6 +876,9 @@ void Datacenter::fail_host(HostId h) {
     hh.state = HostState::kOff;
     hh.transition_event = sim::kNoEvent;
     update_power(hh);
+    if (auto* tr = obs::tracer(recorder_)) {
+      tr->emit(sim_.now(), obs::EventKind::kHostRepaired).host = h;
+    }
     update_node_counters();
     if (on_host_repaired) on_host_repaired(h);
   });
@@ -809,6 +900,14 @@ void Datacenter::apply_injection(Operation& op, faults::FaultOp fop,
   if (config_.fault_injector == nullptr) return;
   const faults::FaultOutcome out =
       config_.fault_injector->decide(fop, h, sim_.now());
+  if (out.kind != faults::FaultOutcome::Kind::kNone) {
+    if (auto* tr = obs::tracer(recorder_)) {
+      auto& e = tr->emit(sim_.now(), obs::EventKind::kFaultInjected);
+      e.vm = op.vm;
+      e.host = h;
+      e.label = outcome_name(out.kind);
+    }
+  }
   switch (out.kind) {
     case faults::FaultOutcome::Kind::kNone:
       break;
@@ -854,6 +953,18 @@ void Datacenter::fail_operation(HostId h, Operation::Kind kind, VmId v,
                                 bool timed_out) {
   ++recorder_.counts.op_failures;
   if (timed_out) ++recorder_.counts.op_timeouts;
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kOpFailed);
+    e.vm = v;
+    e.host = h;
+    switch (kind) {
+      case Operation::Kind::kCreate: e.label = "create"; break;
+      case Operation::Kind::kMigrateIn: e.label = "migrate"; break;
+      case Operation::Kind::kCheckpoint: e.label = "checkpoint"; break;
+      case Operation::Kind::kMigrateOut: e.label = "migrate_out"; break;
+    }
+    e.arg("timeout", timed_out ? 1.0 : 0.0);
+  }
   const char* why = timed_out ? "timeout" : "op-failed";
   faults::FaultOp fop = faults::FaultOp::kCreate;
   switch (kind) {
@@ -916,6 +1027,12 @@ void Datacenter::rollback_migration(VmId v) {
   m.state = VmState::kRunning;
   m.last_progress_update = sim_.now();
   ++recorder_.counts.rollbacks;
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kMigrateRollback);
+    e.vm = v;
+    e.host = dst;
+    e.host2 = src;
+  }
   reallocate_io(dst);
   reallocate_io(src);
   reallocate(dst);
@@ -943,6 +1060,9 @@ void Datacenter::boot_failed(HostId h) {
   update_power(host);
   ++recorder_.counts.boot_failures;
   record_fault_event("boot-failed host=%u", static_cast<unsigned>(h));
+  if (auto* tr = obs::tracer(recorder_)) {
+    tr->emit(sim_.now(), obs::EventKind::kBootFailed).host = h;
+  }
   note_host_fault(h);
   update_node_counters();
   if (on_host_boot_failed) on_host_boot_failed(h);
@@ -967,6 +1087,11 @@ void Datacenter::note_host_fault(HostId h) {
   ++recorder_.counts.quarantines;
   record_fault_event("quarantine host=%u cooldown=%.0fs",
                      static_cast<unsigned>(h), q.cooldown_s);
+  if (auto* tr = obs::tracer(recorder_)) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kQuarantine);
+    e.host = h;
+    e.arg("cooldown_s", q.cooldown_s);
+  }
   sim_.cancel(host.unquarantine_event);
   host.unquarantine_event = sim_.after(q.cooldown_s, [this, h] {
     Host& hh = host_mut(h);
@@ -975,6 +1100,9 @@ void Datacenter::note_host_fault(HostId h) {
     hh.fault_count = 0;
     hh.fault_window_start = sim_.now();
     record_fault_event("unquarantine host=%u", static_cast<unsigned>(h));
+    if (auto* tr = obs::tracer(recorder_)) {
+      tr->emit(sim_.now(), obs::EventKind::kUnquarantine).host = h;
+    }
     if (on_host_unquarantined) on_host_unquarantined(h);
   });
   if (on_host_quarantined) on_host_quarantined(h);

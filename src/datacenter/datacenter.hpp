@@ -204,7 +204,13 @@ class Datacenter {
   [[nodiscard]] const DatacenterConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] metrics::Recorder& recorder() noexcept { return recorder_; }
+  /// Const overload included: recorder_ is a reference to caller-owned
+  /// state, and observers (e.g. the score policy emitting trace events
+  /// through a const SchedContext) legitimately reach it on a const
+  /// Datacenter.
+  [[nodiscard]] metrics::Recorder& recorder() const noexcept {
+    return recorder_;
+  }
 
   /// The attached fault injector (null when injection is disabled).
   [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept {

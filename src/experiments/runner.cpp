@@ -14,6 +14,7 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
 
   sim::Simulator simulator;
   metrics::Recorder recorder(config.datacenter.hosts.size());
+  recorder.obs = config.obs;
 
   std::optional<faults::FaultInjector> injector;
   if (config.faults.enabled) {
@@ -37,6 +38,12 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
                              : make_policy(config.policy);
 
   sched::SchedulerDriver driver(simulator, dc, *policy, config.driver);
+  if (auto* tr = obs::tracer(recorder)) {
+    auto& e = tr->emit(simulator.now(), obs::EventKind::kRunBegin);
+    e.label = policy->name();
+    e.arg("hosts", static_cast<double>(config.datacenter.hosts.size()))
+        .arg("jobs", static_cast<double>(jobs.size()));
+  }
   driver.submit_workload(jobs);
   driver.on_all_done = [&simulator] { simulator.stop(); };
 
@@ -59,6 +66,11 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   if (injector) {
     result.fault_trace = injector->trace();
     result.faults_injected = injector->injected_count();
+  }
+  // Post-run aggregation, not hot-path instrumentation: works even with
+  // EASCHED_TRACE=OFF so --metrics-out survives instrumentation-free builds.
+  if (config.obs != nullptr) {
+    obs::publish_run_metrics(recorder, config.obs->registry);
   }
   return result;
 }

@@ -9,6 +9,7 @@
 #include "datacenter/datacenter.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/report.hpp"
+#include "obs/obs.hpp"
 #include "sched/driver.hpp"
 #include "workload/job.hpp"
 
@@ -32,6 +33,12 @@ struct RunConfig {
   /// Hard simulation-time cap as a safety net against pathological stalls;
   /// runs normally end when the last job finishes. Zero disables the cap.
   sim::SimTime horizon_s = 0;
+
+  /// Optional observability bundle (tracer / metrics registry / phase
+  /// profiler; see obs/obs.hpp). Not owned; must outlive the run. The
+  /// runner attaches it to the recorder, emits the run-begin event, and
+  /// publishes the run counters into its registry at the end.
+  obs::Observability* obs = nullptr;
 };
 
 struct RunResult {

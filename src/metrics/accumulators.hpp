@@ -13,6 +13,10 @@
 
 #include "sim/time.hpp"
 
+namespace easched::obs {
+struct Observability;
+}
+
 namespace easched::metrics {
 
 /// Exact integral of a piecewise-constant signal.
@@ -136,6 +140,12 @@ struct Recorder {
   /// Consolidating policies must keep this at 1; the Random/Round-Robin
   /// baselines push it above.
   double max_oversubscription = 1.0;
+
+  /// Optional observability bundle for the run (tracer / metrics registry
+  /// / phase profiler); not owned. The recorder already flows through
+  /// every instrumented layer, so it carries the pointer — access it via
+  /// the compile-gated helpers in obs/obs.hpp, never directly.
+  obs::Observability* obs = nullptr;
 
   /// Total energy in kWh up to time t.
   [[nodiscard]] double energy_kwh(sim::SimTime t) const {

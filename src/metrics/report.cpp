@@ -1,7 +1,9 @@
 #include "metrics/report.hpp"
 
 #include <cstdio>
+#include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/stats.hpp"
 
 namespace easched::metrics {
@@ -27,15 +29,26 @@ RunReport make_report(const Recorder& recorder, double end_s,
   r.failures = recorder.counts.failures;
   r.jobs_finished = recorder.jobs.count();
 
-  r.op_failures = recorder.counts.op_failures;
-  r.op_timeouts = recorder.counts.op_timeouts;
-  r.retries = recorder.counts.retries;
-  r.rollbacks = recorder.counts.rollbacks;
-  r.quarantines = recorder.counts.quarantines;
-  r.boot_failures = recorder.counts.boot_failures;
-  r.checkpoint_recoveries = recorder.counts.checkpoint_recoveries;
-  r.recreates = recorder.counts.recreates;
-  r.recoveries = recorder.recovery_s.size();
+  // Robustness counters route through the metrics registry: publish once,
+  // snapshot, then mirror the snapshot rows into the scalar fields.
+  obs::MetricsRegistry registry;
+  obs::publish_run_metrics(recorder, registry);
+  r.metrics = registry.snapshot();
+  const auto count = [&r](const char* name) -> std::uint64_t {
+    const obs::SnapshotRow* row = r.metrics.find(name);
+    return row == nullptr ? 0 : static_cast<std::uint64_t>(row->value);
+  };
+  r.op_failures = count("robust.op_failures");
+  r.op_timeouts = count("robust.op_timeouts");
+  r.retries = count("robust.retries");
+  r.rollbacks = count("robust.rollbacks");
+  r.quarantines = count("robust.quarantines");
+  r.boot_failures = count("robust.boot_failures");
+  r.checkpoint_recoveries = count("ckpt.recoveries");
+  r.recreates = count("vm.recreates");
+  const obs::SnapshotRow* recovery = r.metrics.find("robust.recovery_s");
+  r.recoveries =
+      recovery == nullptr ? 0 : static_cast<std::size_t>(recovery->count);
   if (!recorder.recovery_s.empty()) {
     r.recovery_p50_s = support::percentile(recorder.recovery_s, 50);
     r.recovery_p95_s = support::percentile(recorder.recovery_s, 95);
@@ -60,22 +73,35 @@ std::string RunReport::robustness_to_string() const {
       boot_failures == 0 && recoveries == 0) {
     return {};
   }
-  char buf[320];
-  std::snprintf(
-      buf, sizeof buf,
-      "faults: op-fail %llu (timeout %llu)  retries %llu  rollbacks %llu  "
-      "quarantines %llu  boot-fail %llu  ckpt-restore/recreate %llu/%llu  "
-      "recover p50/p95/max %.0f/%.0f/%.0f s (n=%zu)",
-      static_cast<unsigned long long>(op_failures),
-      static_cast<unsigned long long>(op_timeouts),
-      static_cast<unsigned long long>(retries),
-      static_cast<unsigned long long>(rollbacks),
-      static_cast<unsigned long long>(quarantines),
-      static_cast<unsigned long long>(boot_failures),
-      static_cast<unsigned long long>(checkpoint_recoveries),
-      static_cast<unsigned long long>(recreates), recovery_p50_s,
-      recovery_p95_s, recovery_max_s, recoveries);
-  return buf;
+  // One label per registry instrument — extending publish_run_metrics and
+  // this table is all a new robustness counter needs to reach the report.
+  static constexpr struct {
+    const char* metric;
+    const char* label;
+  } kFields[] = {
+      {"robust.op_failures", "op-fail"},
+      {"robust.op_timeouts", "timeouts"},
+      {"robust.retries", "retries"},
+      {"robust.rollbacks", "rollbacks"},
+      {"robust.quarantines", "quarantines"},
+      {"robust.boot_failures", "boot-fail"},
+      {"ckpt.recoveries", "ckpt-restore"},
+      {"vm.recreates", "recreate"},
+  };
+  std::ostringstream os;
+  os << "faults:";
+  for (const auto& f : kFields) {
+    const obs::SnapshotRow* row = metrics.find(f.metric);
+    const auto v =
+        row == nullptr ? 0ULL : static_cast<unsigned long long>(row->value);
+    os << "  " << f.label << ' ' << v;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "  recover p50/p95/max %.0f/%.0f/%.0f s (n=%zu)",
+                recovery_p50_s, recovery_p95_s, recovery_max_s, recoveries);
+  os << buf;
+  return os.str();
 }
 
 }  // namespace easched::metrics

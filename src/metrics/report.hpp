@@ -6,6 +6,7 @@
 #include <string>
 
 #include "metrics/accumulators.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace easched::metrics {
 
@@ -29,6 +30,8 @@ struct RunReport {
   std::size_t jobs_finished = 0;
 
   // ---- robustness (fault-injection & recovery layer) ---------------------
+  // Derived from `metrics` (the registry snapshot below) in make_report;
+  // kept as scalars for ergonomic test/bench access.
   std::uint64_t op_failures = 0;
   std::uint64_t op_timeouts = 0;
   std::uint64_t retries = 0;
@@ -41,6 +44,12 @@ struct RunReport {
   double recovery_p50_s = 0;
   double recovery_p95_s = 0;
   double recovery_max_s = 0;
+
+  /// Every run counter as named instruments (see obs::publish_run_metrics
+  /// for the catalogue) — the single formatting/export path: CSV via
+  /// metrics.to_csv(), JSON via metrics.to_json(), and the robustness line
+  /// below, which reads these rows rather than dedicated fields.
+  obs::MetricsSnapshot metrics;
 
   /// One line in the style of the paper's tables.
   [[nodiscard]] std::string to_string() const;

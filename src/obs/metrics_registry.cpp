@@ -1,0 +1,176 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace easched::obs {
+namespace {
+
+// Shortest round-trippable formatting, matching the trace exporters.
+void write_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+std::string full_name(const std::string& name, const std::string& label) {
+  if (label.empty()) return name;
+  return name + "{" + label + "}";
+}
+
+}  // namespace
+
+const char* to_string(InstrumentKind kind) noexcept {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& label) {
+  return fetch(name, label, InstrumentKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& label) {
+  return fetch(name, label, InstrumentKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& label) {
+  Instrument& ins = fetch(name, label, InstrumentKind::kHistogram);
+  if (ins.histogram.empty()) ins.histogram.emplace_back(std::move(bounds));
+  return ins.histogram.front();
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::fetch(const std::string& name,
+                                                    const std::string& label,
+                                                    InstrumentKind kind) {
+  auto [it, inserted] = instruments_.try_emplace(full_name(name, label));
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    std::fprintf(stderr,
+                 "obs: instrument '%s' re-registered as %s (was %s)\n",
+                 it->first.c_str(), to_string(kind),
+                 to_string(it->second.kind));
+    std::abort();
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.rows.reserve(instruments_.size());
+  for (const auto& [name, ins] : instruments_) {  // std::map: name-sorted
+    SnapshotRow row;
+    row.name = name;
+    row.kind = ins.kind;
+    switch (ins.kind) {
+      case InstrumentKind::kCounter:
+        row.value = static_cast<double>(ins.counter.value());
+        break;
+      case InstrumentKind::kGauge:
+        row.value = ins.gauge.value();
+        break;
+      case InstrumentKind::kHistogram:
+        if (!ins.histogram.empty()) {
+          const Histogram& h = ins.histogram.front();
+          row.bounds = h.bounds();
+          row.buckets = h.buckets();
+          row.count = h.count();
+          row.sum = h.sum();
+          row.value = h.count() > 0
+                          ? h.sum() / static_cast<double>(h.count())
+                          : 0.0;
+        }
+        break;
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  return snap;
+}
+
+const SnapshotRow* MetricsSnapshot::find(const std::string& name) const {
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), name,
+      [](const SnapshotRow& r, const std::string& n) { return r.name < n; });
+  if (it == rows.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "name,kind,value,count,sum,buckets\n";
+  for (const SnapshotRow& row : rows) {
+    os << row.name << ',' << to_string(row.kind) << ',';
+    write_double(os, row.value);
+    os << ',' << row.count << ',';
+    write_double(os, row.sum);
+    os << ',';
+    if (row.kind == InstrumentKind::kHistogram) {
+      for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+        if (i > 0) os << '|';
+        os << "le=";
+        if (i < row.bounds.size()) {
+          write_double(os, row.bounds[i]);
+        } else {
+          os << "inf";
+        }
+        os << ':' << row.buckets[i];
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const SnapshotRow& row : rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << row.name << "\",\"kind\":\""
+       << to_string(row.kind) << "\",\"value\":";
+    write_double(os, row.value);
+    if (row.kind == InstrumentKind::kHistogram) {
+      os << ",\"count\":" << row.count << ",\"sum\":";
+      write_double(os, row.sum);
+      os << ",\"bounds\":[";
+      for (std::size_t i = 0; i < row.bounds.size(); ++i) {
+        if (i > 0) os << ',';
+        write_double(os, row.bounds[i]);
+      }
+      os << "],\"buckets\":[";
+      for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+        if (i > 0) os << ',';
+        os << row.buckets[i];
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,32 @@
+#include "obs/obs.hpp"
+
+namespace easched::obs {
+
+void publish_run_metrics(const metrics::Recorder& rec,
+                         MetricsRegistry& registry) {
+  const metrics::Counters& c = rec.counts;
+  registry.counter("ops.creations").set(c.creations);
+  registry.counter("ops.migrations").set(c.migrations);
+  registry.counter("power.turn_ons").set(c.turn_ons);
+  registry.counter("power.turn_offs").set(c.turn_offs);
+  registry.counter("hosts.failures").set(c.failures);
+  registry.counter("sla.alarms").set(c.sla_alarms);
+  registry.counter("ckpt.taken").set(c.checkpoints);
+  registry.counter("ckpt.recoveries").set(c.checkpoint_recoveries);
+  registry.counter("vm.recreates").set(c.recreates);
+  registry.counter("robust.op_failures").set(c.op_failures);
+  registry.counter("robust.op_timeouts").set(c.op_timeouts);
+  registry.counter("robust.retries").set(c.retries);
+  registry.counter("robust.rollbacks").set(c.rollbacks);
+  registry.counter("robust.quarantines").set(c.quarantines);
+  registry.counter("robust.boot_failures").set(c.boot_failures);
+  registry.gauge("run.max_oversubscription").set(rec.max_oversubscription);
+
+  // Recovery times span VM re-creation (~minutes) through repair-gated
+  // waits (~hours); bucket edges follow that spread.
+  Histogram& recovery = registry.histogram(
+      "robust.recovery_s", {1, 5, 15, 60, 300, 1800, 7200});
+  for (double s : rec.recovery_s) recovery.observe(s);
+}
+
+}  // namespace easched::obs

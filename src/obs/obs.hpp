@@ -1,0 +1,79 @@
+// The observability bundle and its compile-gated access path.
+//
+// An `Observability` owns the three instruments a run can carry — event
+// tracer, metrics registry, phase profiler — and travels with the run's
+// `metrics::Recorder` as a nullable pointer (`Recorder::obs`), so every
+// layer that already receives the recorder (Datacenter, SchedulerDriver,
+// ScoreBasedPolicy via the datacenter) can reach it without new plumbing.
+//
+// Instrumentation call sites never touch the bundle directly; they go
+// through the accessors below:
+//
+//   if (auto* tr = obs::tracer(recorder)) {
+//     tr->emit(now, EventKind::kPowerOn).host = h;
+//   }
+//
+// With EASCHED_TRACE=OFF the accessors are constexpr nullptr, the branch
+// folds away, and the whole call site is dead code — the compile-time half
+// of the zero-cost guarantee. With tracing compiled in but not enabled,
+// each accessor is a pointer load plus a flag test — the runtime null
+// sink.
+#pragma once
+
+#include "metrics/accumulators.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+#ifndef EASCHED_TRACE_ENABLED
+#define EASCHED_TRACE_ENABLED 1
+#endif
+
+namespace easched::obs {
+
+/// Everything one run's observability needs, bundled so a single pointer
+/// threads through the stack. Components start disabled (null sinks);
+/// enable the ones a run asked for (see obs_cli.hpp for the CLI path).
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry registry;
+  PhaseProfiler profiler;
+};
+
+#if EASCHED_TRACE_ENABLED
+
+/// The run's tracer, or nullptr when absent or not enabled.
+[[nodiscard]] inline Tracer* tracer(const metrics::Recorder& rec) noexcept {
+  Observability* o = rec.obs;
+  return (o != nullptr && o->tracer.enabled()) ? &o->tracer : nullptr;
+}
+
+/// The run's phase profiler, or nullptr when absent or not enabled.
+[[nodiscard]] inline PhaseProfiler* profiler(
+    const metrics::Recorder& rec) noexcept {
+  Observability* o = rec.obs;
+  return (o != nullptr && o->profiler.enabled()) ? &o->profiler : nullptr;
+}
+
+#else  // instrumentation compiled out: accessors fold to constant nullptr
+
+[[nodiscard]] constexpr Tracer* tracer(const metrics::Recorder&) noexcept {
+  return nullptr;
+}
+[[nodiscard]] constexpr PhaseProfiler* profiler(
+    const metrics::Recorder&) noexcept {
+  return nullptr;
+}
+
+#endif  // EASCHED_TRACE_ENABLED
+
+/// Publishes the recorder's run counters — the table counters and the PR 2
+/// robustness counters — into `registry` as named instruments, plus the
+/// recovery-time histogram and the oversubscription gauge. This is the one
+/// place those counters are mapped to metric names; the RunReport
+/// robustness line, `--metrics-out=` snapshots and the obs tests all read
+/// the resulting snapshot.
+void publish_run_metrics(const metrics::Recorder& rec,
+                         MetricsRegistry& registry);
+
+}  // namespace easched::obs

@@ -1,0 +1,85 @@
+#include "obs/obs_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/cli.hpp"
+
+namespace easched::obs {
+
+ObsOptions options_from_cli(const support::CliArgs& args) {
+  ObsOptions opts;
+  opts.trace_path = args.get("trace", "");
+  opts.trace_format = args.get("trace-format", "jsonl");
+  opts.metrics_path = args.get("metrics-out", "");
+  opts.profile = args.get_bool("profile", false);
+  if (opts.trace_path == "true") {  // bare `--trace` with no path
+    std::fprintf(stderr, "easched: --trace requires a path (--trace=out.jsonl)\n");
+    std::exit(2);
+  }
+  if (!opts.trace_path.empty() && opts.trace_format != "jsonl" &&
+      opts.trace_format != "chrome") {
+    std::fprintf(stderr, "easched: unknown --trace-format '%s' (jsonl|chrome)\n",
+                 opts.trace_format.c_str());
+    std::exit(2);
+  }
+  return opts;
+}
+
+bool wants_observability(const ObsOptions& opts) {
+  return !opts.trace_path.empty() || !opts.metrics_path.empty() ||
+         opts.profile;
+}
+
+void configure(Observability& o, const ObsOptions& opts) {
+  if (!opts.trace_path.empty()) o.tracer.enable();
+  if (opts.profile) o.profiler.enable();
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::ofstream open_or_die(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "easched: cannot write '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  return os;
+}
+
+}  // namespace
+
+void finish(Observability& o, const ObsOptions& opts) {
+  if (!opts.trace_path.empty()) {
+    std::ofstream os = open_or_die(opts.trace_path);
+    if (opts.trace_format == "chrome") {
+      o.tracer.write_chrome(os);
+    } else {
+      o.tracer.write_jsonl(os);
+    }
+    std::printf("trace: %zu events -> %s (%s)\n", o.tracer.size(),
+                opts.trace_path.c_str(), opts.trace_format.c_str());
+  }
+  if (!opts.metrics_path.empty()) {
+    const MetricsSnapshot snap = o.registry.snapshot();
+    std::ofstream os = open_or_die(opts.metrics_path);
+    os << (ends_with(opts.metrics_path, ".csv") ? snap.to_csv()
+                                                : snap.to_json());
+    std::printf("metrics: %zu instruments -> %s\n", snap.rows.size(),
+                opts.metrics_path.c_str());
+  }
+  if (opts.profile) {
+    const std::string table = o.profiler.to_string();
+    if (!table.empty()) {
+      std::printf("\n-- phase profile (wall-clock) --\n%s", table.c_str());
+    }
+  }
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,43 @@
+// CLI wiring shared by the example binaries: parses the observability
+// flags (`--trace=<path>`, `--trace-format=jsonl|chrome`,
+// `--metrics-out=<path>`, `--profile`), enables the matching components on
+// an Observability bundle, and writes the requested files when the run
+// ends. Keeping this in one place means every example exposes the same
+// flags with the same semantics.
+#pragma once
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace easched::support {
+class CliArgs;
+}
+
+namespace easched::obs {
+
+struct ObsOptions {
+  std::string trace_path;    ///< empty = no trace requested
+  std::string trace_format = "jsonl";  ///< "jsonl" or "chrome"
+  std::string metrics_path;  ///< empty = no metrics snapshot requested
+  bool profile = false;      ///< print the phase-profiling rollup table
+};
+
+/// Reads the observability flags from parsed CLI args. Exits with an error
+/// on a bare `--trace` (a path is required) or an unknown trace format.
+ObsOptions options_from_cli(const support::CliArgs& args);
+
+/// True when any output was requested, i.e. the run needs a bundle.
+[[nodiscard]] bool wants_observability(const ObsOptions& opts);
+
+/// Enables the bundle components the options ask for.
+void configure(Observability& o, const ObsOptions& opts);
+
+/// Writes the requested outputs: the trace file in the chosen format, the
+/// metrics snapshot (CSV for paths ending in .csv, JSON otherwise; the
+/// experiment runner already published the run counters into the
+/// registry), and the profiling table to stdout. Prints a one-line note
+/// per file written.
+void finish(Observability& o, const ObsOptions& opts);
+
+}  // namespace easched::obs

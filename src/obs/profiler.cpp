@@ -1,0 +1,65 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "support/stats.hpp"
+
+namespace easched::obs {
+
+const char* to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kInvalidate: return "invalidate";
+    case Phase::kRebuild: return "rebuild";
+    case Phase::kClimb: return "climb";
+    case Phase::kActuate: return "actuate";
+    case Phase::kPower: return "power";
+    case Phase::kRound: return "round";
+  }
+  return "?";
+}
+
+std::vector<PhaseRollup> PhaseProfiler::rollups() const {
+  std::vector<PhaseRollup> out;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::vector<double>& s = samples_[i];
+    if (s.empty()) continue;
+    PhaseRollup r;
+    r.phase = static_cast<Phase>(i);
+    r.n = s.size();
+    r.total_ms = std::accumulate(s.begin(), s.end(), 0.0);
+    r.p50_ms = support::percentile(s, 50.0);
+    r.p95_ms = support::percentile(s, 95.0);
+    r.p99_ms = support::percentile(s, 99.0);
+    r.max_ms = *std::max_element(s.begin(), s.end());
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string PhaseProfiler::to_string() const {
+  const std::vector<PhaseRollup> rows = rollups();
+  if (rows.empty()) return "";
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %8s %12s %10s %10s %10s %10s\n",
+                "phase", "n", "total_ms", "p50_ms", "p95_ms", "p99_ms",
+                "max_ms");
+  os << line;
+  for (const PhaseRollup& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-12s %8zu %12.3f %10.4f %10.4f %10.4f %10.4f\n",
+                  obs::to_string(r.phase), r.n, r.total_ms, r.p50_ms,
+                  r.p95_ms, r.p99_ms, r.max_ms);
+    os << line;
+  }
+  return os.str();
+}
+
+void PhaseProfiler::clear() {
+  for (auto& s : samples_) s.clear();
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,457 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <numeric>
+#include <ostream>
+
+namespace easched::obs {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRunBegin:        return "run-begin";
+    case EventKind::kJobArrival:      return "job-arrival";
+    case EventKind::kRound:           return "round";
+    case EventKind::kDecision:        return "decision";
+    case EventKind::kCreateStart:     return "create-start";
+    case EventKind::kVmReady:         return "vm-ready";
+    case EventKind::kJobFinished:     return "job-finished";
+    case EventKind::kMigrateStart:    return "migrate-start";
+    case EventKind::kMigrateDone:     return "migrate-done";
+    case EventKind::kMigrateRollback: return "migrate-rollback";
+    case EventKind::kPowerOn:         return "power-on";
+    case EventKind::kHostOnline:      return "host-online";
+    case EventKind::kPowerOff:        return "power-off";
+    case EventKind::kHostOff:         return "host-off";
+    case EventKind::kHostFailed:      return "host-failed";
+    case EventKind::kHostRepaired:    return "host-repaired";
+    case EventKind::kBootFailed:      return "boot-failed";
+    case EventKind::kFaultInjected:   return "fault-injected";
+    case EventKind::kOpFailed:        return "op-failed";
+    case EventKind::kQuarantine:      return "quarantine";
+    case EventKind::kUnquarantine:    return "unquarantine";
+    case EventKind::kSlaAlarm:        return "sla-alarm";
+    case EventKind::kRetry:           return "retry";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Category shown in the Chrome trace: where in the stack the event lives.
+const char* category(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRunBegin:
+    case EventKind::kJobArrival:
+    case EventKind::kRound:
+    case EventKind::kDecision:
+    case EventKind::kSlaAlarm:
+    case EventKind::kRetry:
+      return "sched";
+    case EventKind::kCreateStart:
+    case EventKind::kVmReady:
+    case EventKind::kJobFinished:
+    case EventKind::kMigrateStart:
+    case EventKind::kMigrateDone:
+    case EventKind::kMigrateRollback:
+      return "vm";
+    case EventKind::kFaultInjected:
+    case EventKind::kOpFailed:
+      return "faults";
+    default:
+      return "host";
+  }
+}
+
+/// Shortest round-trip-ish decimal form, deterministic across runs and
+/// platforms for the value ranges a trace carries.
+void write_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+bool is_wall_arg(const std::string& key) {
+  return key.rfind("wall_", 0) == 0;
+}
+
+}  // namespace
+
+TraceEvent& Tracer::emit(sim::SimTime t, EventKind kind) {
+  TraceEvent e;
+  e.t = t;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  events_.push_back(std::move(e));
+  return events_.back();
+}
+
+TraceEvent& Tracer::span(sim::SimTime start, sim::SimTime end,
+                         EventKind kind) {
+  TraceEvent& e = emit(start, kind);
+  e.dur = std::max(0.0, end - start);
+  return e;
+}
+
+std::vector<std::size_t> Tracer::sorted_order() const {
+  std::vector<std::size_t> order(events_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Stable by sim-time: ties keep emission (seq) order, which is exactly
+  // the deterministic (t, seq) total order the header promises.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return events_[a].t < events_[b].t;
+                   });
+  return order;
+}
+
+void Tracer::write_jsonl(std::ostream& os, bool include_wall) const {
+  for (std::size_t i : sorted_order()) {
+    const TraceEvent& e = events_[i];
+    os << "{\"t\":";
+    write_double(os, e.t);
+    if (e.dur > 0) {
+      os << ",\"dur\":";
+      write_double(os, e.dur);
+    }
+    os << ",\"seq\":" << e.seq << ",\"kind\":\"" << to_string(e.kind) << '"';
+    if (e.vm >= 0) os << ",\"vm\":" << e.vm;
+    if (e.host >= 0) os << ",\"host\":" << e.host;
+    if (e.host2 >= 0) os << ",\"host2\":" << e.host2;
+    if (!e.label.empty()) {
+      os << ",\"label\":\"";
+      write_escaped(os, e.label);
+      os << '"';
+    }
+    bool any = false;
+    for (const auto& [key, value] : e.args) {
+      if (!include_wall && is_wall_arg(key)) continue;
+      os << (any ? "," : ",\"args\":{") << '"';
+      write_escaped(os, key);
+      os << "\":";
+      write_double(os, value);
+      any = true;
+    }
+    if (any) os << '}';
+    os << "}\n";
+  }
+}
+
+void Tracer::write_chrome(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"easched\"}},\n";
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"scheduler\"}}";
+  for (std::size_t i : sorted_order()) {
+    const TraceEvent& e = events_[i];
+    os << ",\n{\"name\":\"" << to_string(e.kind) << "\",\"cat\":\""
+       << category(e.kind) << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i')
+       << "\",\"ts\":";
+    write_double(os, e.t * 1e6);  // trace_event timestamps are microseconds
+    if (e.dur > 0) {
+      os << ",\"dur\":";
+      write_double(os, e.dur * 1e6);
+    }
+    // Host-scoped events render as one Perfetto track per host (tid =
+    // host + 1); everything else lands on the scheduler track (tid 0).
+    os << ",\"pid\":0,\"tid\":" << (e.host >= 0 ? e.host + 1 : 0);
+    if (e.dur <= 0) os << ",\"s\":\"t\"";  // instant scope: thread
+    os << ",\"args\":{\"seq\":" << e.seq;
+    if (e.vm >= 0) os << ",\"vm\":" << e.vm;
+    if (e.host2 >= 0) os << ",\"host2\":" << e.host2;
+    if (!e.label.empty()) {
+      os << ",\"label\":\"";
+      write_escaped(os, e.label);
+      os << '"';
+    }
+    for (const auto& [key, value] : e.args) {
+      os << ",\"";
+      write_escaped(os, key);
+      os << "\":";
+      write_double(os, value);
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+// ---- Chrome trace_event structural validation ------------------------------
+//
+// A compact recursive-descent JSON parser sufficient for schema checking:
+// it validates full JSON syntax and surfaces the value shapes the
+// trace_event format requires. No external dependencies.
+
+namespace {
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error{};
+
+  [[nodiscard]] bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+};
+
+bool parse_value(JsonCursor& in);
+
+bool parse_string(JsonCursor& in, std::string* out) {
+  if (!in.eat('"')) return false;
+  std::string s;
+  while (in.pos < in.text.size()) {
+    const char c = in.text[in.pos++];
+    if (c == '"') {
+      if (out != nullptr) *out = std::move(s);
+      return true;
+    }
+    if (c == '\\') {
+      if (in.pos >= in.text.size()) return in.fail("bad escape");
+      const char esc = in.text[in.pos++];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          if (in.pos >= in.text.size() ||
+              !std::isxdigit(static_cast<unsigned char>(in.text[in.pos]))) {
+            return in.fail("bad \\u escape");
+          }
+          ++in.pos;
+        }
+        s += '?';
+      } else if (std::string("\"\\/bfnrt").find(esc) != std::string::npos) {
+        s += esc;
+      } else {
+        return in.fail("bad escape character");
+      }
+    } else {
+      s += c;
+    }
+  }
+  return in.fail("unterminated string");
+}
+
+bool parse_number(JsonCursor& in) {
+  const std::size_t start = in.pos;
+  if (in.pos < in.text.size() && in.text[in.pos] == '-') ++in.pos;
+  auto digits = [&in] {
+    std::size_t n = 0;
+    while (in.pos < in.text.size() &&
+           std::isdigit(static_cast<unsigned char>(in.text[in.pos]))) {
+      ++in.pos;
+      ++n;
+    }
+    return n;
+  };
+  if (digits() == 0) return in.fail("bad number");
+  if (in.pos < in.text.size() && in.text[in.pos] == '.') {
+    ++in.pos;
+    if (digits() == 0) return in.fail("bad fraction");
+  }
+  if (in.pos < in.text.size() &&
+      (in.text[in.pos] == 'e' || in.text[in.pos] == 'E')) {
+    ++in.pos;
+    if (in.pos < in.text.size() &&
+        (in.text[in.pos] == '+' || in.text[in.pos] == '-')) {
+      ++in.pos;
+    }
+    if (digits() == 0) return in.fail("bad exponent");
+  }
+  return in.pos > start;
+}
+
+/// One parsed object member: the value's leading character as a cheap type
+/// tag ('"' string, '{' object, '[' array, digit/'-' number, 't'/'f'/'n'
+/// literal) plus the decoded text for string values.
+struct Member {
+  std::string key;
+  char tag = '\0';
+  std::string str;  ///< decoded value when tag == '"'
+};
+
+bool parse_object(JsonCursor& in, std::vector<Member>* members) {
+  if (!in.eat('{')) return false;
+  if (in.peek('}')) return in.eat('}');
+  while (true) {
+    Member m;
+    if (!parse_string(in, &m.key)) return false;
+    if (!in.eat(':')) return false;
+    in.skip_ws();
+    m.tag = in.pos < in.text.size() ? in.text[in.pos] : '\0';
+    if (m.tag == '"') {
+      if (!parse_string(in, &m.str)) return false;
+    } else if (!parse_value(in)) {
+      return false;
+    }
+    if (members != nullptr) members->push_back(std::move(m));
+    if (in.peek(',')) {
+      if (!in.eat(',')) return false;
+      continue;
+    }
+    return in.eat('}');
+  }
+}
+
+bool parse_array(JsonCursor& in) {
+  if (!in.eat('[')) return false;
+  if (in.peek(']')) return in.eat(']');
+  while (true) {
+    if (!parse_value(in)) return false;
+    if (in.peek(',')) {
+      if (!in.eat(',')) return false;
+      continue;
+    }
+    return in.eat(']');
+  }
+}
+
+bool parse_literal(JsonCursor& in, const char* word) {
+  for (const char* p = word; *p != '\0'; ++p) {
+    if (in.pos >= in.text.size() || in.text[in.pos] != *p) {
+      return in.fail("bad literal");
+    }
+    ++in.pos;
+  }
+  return true;
+}
+
+bool parse_value(JsonCursor& in) {
+  in.skip_ws();
+  if (in.pos >= in.text.size()) return in.fail("unexpected end of input");
+  switch (in.text[in.pos]) {
+    case '"': return parse_string(in, nullptr);
+    case '{': return parse_object(in, nullptr);
+    case '[': return parse_array(in);
+    case 't': return parse_literal(in, "true");
+    case 'f': return parse_literal(in, "false");
+    case 'n': return parse_literal(in, "null");
+    default:  return parse_number(in);
+  }
+}
+
+bool is_number_tag(char tag) {
+  return tag == '-' || std::isdigit(static_cast<unsigned char>(tag)) != 0;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string* error) {
+  const auto report = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+
+  JsonCursor in{json};
+  // Top level: an object whose traceEvents member is an array of event
+  // objects. Walk it with the same parser, intercepting the array.
+  if (!in.eat('{')) return report(in.error);
+  bool saw_trace_events = false;
+  if (!in.peek('}')) {
+    while (true) {
+      std::string key;
+      if (!parse_string(in, &key)) return report(in.error);
+      if (!in.eat(':')) return report(in.error);
+      if (key == "traceEvents") {
+        saw_trace_events = true;
+        if (!in.eat('[')) return report(in.error);
+        std::size_t index = 0;
+        if (!in.peek(']')) {
+          while (true) {
+            std::vector<Member> members;
+            in.skip_ws();
+            if (!parse_object(in, &members)) return report(in.error);
+            const auto find = [&members](const char* k) -> const Member* {
+              for (const auto& m : members) {
+                if (m.key == k) return &m;
+              }
+              return nullptr;
+            };
+            const auto require = [&](const char* k, bool number) {
+              const Member* m = find(k);
+              if (m == nullptr) {
+                return report("event " + std::to_string(index) +
+                              ": missing \"" + k + "\"");
+              }
+              if (number ? !is_number_tag(m->tag) : m->tag != '"') {
+                return report("event " + std::to_string(index) + ": \"" + k +
+                              "\" has the wrong type");
+              }
+              return true;
+            };
+            if (!require("name", false)) return false;
+            if (!require("ph", false)) return false;
+            if (!require("pid", true)) return false;
+            if (!require("tid", true)) return false;
+            const Member* ph = find("ph");
+            // The phase letters chrome://tracing / Perfetto understand (the
+            // subset any producer may emit; ours uses X, i and M).
+            static const std::string kPhases = "BEXiIMCbensfPSTpFOND";
+            if (ph->str.size() != 1 ||
+                kPhases.find(ph->str[0]) == std::string::npos) {
+              return report("event " + std::to_string(index) +
+                            ": unknown phase \"" + ph->str + "\"");
+            }
+            if (ph->str[0] != 'M') {
+              // Every timed phase needs a timestamp; complete events also
+              // carry their duration. Metadata ("M") events need neither.
+              if (!require("ts", true)) return false;
+              if (ph->str[0] == 'X' && !require("dur", true)) return false;
+            }
+            ++index;
+            if (in.peek(',')) {
+              if (!in.eat(',')) return report(in.error);
+              continue;
+            }
+            if (!in.eat(']')) return report(in.error);
+            break;
+          }
+        } else {
+          if (!in.eat(']')) return report(in.error);
+        }
+      } else {
+        if (!parse_value(in)) return report(in.error);
+      }
+      if (in.peek(',')) {
+        if (!in.eat(',')) return report(in.error);
+        continue;
+      }
+      if (!in.eat('}')) return report(in.error);
+      break;
+    }
+  } else {
+    if (!in.eat('}')) return report(in.error);
+  }
+  in.skip_ws();
+  if (in.pos != json.size()) return report("trailing data after document");
+  if (!saw_trace_events) return report("missing \"traceEvents\" array");
+  return true;
+}
+
+}  // namespace easched::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "support/contracts.hpp"
 #include "workload/satisfaction.hpp"
 
@@ -146,6 +147,11 @@ void SchedulerDriver::submit_workload(const workload::Workload& jobs) {
 
 void SchedulerDriver::on_arrival(const workload::Job& job) {
   const VmId v = dc_.admit_job(job);
+  if (auto* tr = obs::tracer(dc_.recorder())) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kJobArrival);
+    e.vm = v;
+    e.arg("cpu_pct", job.cpu_pct).arg("mem_mb", job.mem_mb);
+  }
   boosted_.resize(std::max<std::size_t>(boosted_.size(), v + 1), false);
   queue_.push_back(v);
   round();
@@ -156,6 +162,11 @@ VmId SchedulerDriver::submit_job_now(const workload::Job& job) {
   stamped.submit = sim_.now();
   ++submitted_;
   const VmId v = dc_.admit_job(stamped);
+  if (auto* tr = obs::tracer(dc_.recorder())) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kJobArrival);
+    e.vm = v;
+    e.arg("cpu_pct", stamped.cpu_pct).arg("mem_mb", stamped.mem_mb);
+  }
   boosted_.resize(std::max<std::size_t>(boosted_.size(), v + 1), false);
   queue_.push_back(v);
   round();
@@ -168,7 +179,7 @@ void SchedulerDriver::remove_from_queue(VmId v) {
   queue_.erase(it);
 }
 
-void SchedulerDriver::apply(const std::vector<Action>& actions) {
+std::size_t SchedulerDriver::apply(const std::vector<Action>& actions) {
   std::vector<Action> applied;
   for (const Action& a : actions) {
     const auto& vm = dc_.vm(a.vm);
@@ -196,6 +207,7 @@ void SchedulerDriver::apply(const std::vector<Action>& actions) {
     }
   }
   if (on_actions && !applied.empty()) on_actions(sim_.now(), applied);
+  return applied.size();
 }
 
 const char* to_string(QueueOrder order) noexcept {
@@ -213,6 +225,8 @@ const char* to_string(QueueOrder order) noexcept {
 void SchedulerDriver::round() {
   if (in_round_) return;  // actions can re-trigger notifications
   in_round_ = true;
+  obs::PhaseProfiler* prof = obs::profiler(dc_.recorder());
+  obs::PhaseProfiler::Scope round_scope(prof, obs::Phase::kRound);
   switch (config_.queue_order) {
     case QueueOrder::kFifo:
       break;  // insertion order (failures re-enter at the front)
@@ -245,10 +259,25 @@ void SchedulerDriver::round() {
     view = &eligible_;
   }
   SchedContext ctx{dc_, *view, rng_};
-  apply(policy_.schedule(ctx));
+  const std::vector<Action> actions = policy_.schedule(ctx);
+  std::size_t applied = 0;
+  {
+    obs::PhaseProfiler::Scope scope(prof, obs::Phase::kActuate);
+    applied = apply(actions);
+  }
   progress_drains();
   evacuate_quarantined();
-  power_.update(ctx, dc_, policy_);
+  {
+    obs::PhaseProfiler::Scope scope(prof, obs::Phase::kPower);
+    power_.update(ctx, dc_, policy_);
+  }
+  if (auto* tr = obs::tracer(dc_.recorder())) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kRound);
+    e.arg("queue", static_cast<double>(queue_.size()))
+        .arg("eligible", static_cast<double>(view->size()))
+        .arg("actions", static_cast<double>(applied));
+    if (prof != nullptr) e.arg("wall_round_ms", round_scope.elapsed_ms());
+  }
   in_round_ = false;
 }
 
@@ -280,6 +309,11 @@ void SchedulerDriver::schedule_retry(VmId v, bool track_recovery) {
                        (1.0 + rp.jitter * retry_rng_.uniform01());
   r.not_before = sim_.now() + delay;
   ++dc_.recorder().counts.retries;
+  if (auto* tr = obs::tracer(dc_.recorder())) {
+    auto& e = tr->emit(sim_.now(), obs::EventKind::kRetry);
+    e.vm = v;
+    e.arg("attempt", static_cast<double>(r.attempts)).arg("delay_s", delay);
+  }
   sim_.after(delay, [this] { round(); });
 }
 
@@ -385,6 +419,9 @@ void SchedulerDriver::sla_scan() {
 
     at_risk_found = true;
     ++dc_.recorder().counts.sla_alarms;
+    if (auto* tr = obs::tracer(dc_.recorder())) {
+      tr->emit(sim_.now(), obs::EventKind::kSlaAlarm).vm = v;
+    }
     if (config_.dynamic_sla_boost && !boosted_[v]) {
       // Give the VM the priority it needs to catch up (III-A.5): a higher
       // credit weight pulls its share toward its nominal demand on

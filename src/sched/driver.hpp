@@ -139,7 +139,9 @@ class SchedulerDriver {
   };
 
   void on_arrival(const workload::Job& job);
-  void apply(const std::vector<Action>& actions);
+  /// Applies the policy's actions (after defensive validation) and returns
+  /// how many were actually executed.
+  std::size_t apply(const std::vector<Action>& actions);
   void sla_scan();
   void adaptive_window();
   void progress_drains();

@@ -26,16 +26,19 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
 }
 
 bool CliArgs::has(const std::string& key) const {
+  seen_.insert(key);
   return values_.count(key) != 0;
 }
 
 std::string CliArgs::get(const std::string& key,
                          const std::string& fallback) const {
+  seen_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
+  seen_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
@@ -52,6 +55,7 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
 
 std::int64_t CliArgs::get_int(const std::string& key,
                               std::int64_t fallback) const {
+  seen_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
@@ -67,6 +71,7 @@ std::int64_t CliArgs::get_int(const std::string& key,
 }
 
 bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  seen_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   const std::string& v = it->second;
@@ -75,6 +80,18 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   std::fprintf(stderr, "easched: bad boolean value for --%s: '%s'\n",
                key.c_str(), v.c_str());
   std::exit(2);
+}
+
+std::size_t CliArgs::warn_unrecognized() const {
+  std::size_t unknown = 0;
+  for (const auto& [key, value] : values_) {
+    if (seen_.count(key) != 0) continue;
+    ++unknown;
+    std::fprintf(stderr, "easched: warning: unrecognized option --%s%s%s\n",
+                 key.c_str(), value == "true" ? "" : "=",
+                 value == "true" ? "" : value.c_str());
+  }
+  return unknown;
 }
 
 }  // namespace easched::support

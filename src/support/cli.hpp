@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,10 @@ namespace easched::support {
 /// collected in `positional()`. Lookup helpers return the supplied default
 /// when the option is absent and abort with a message when a value fails to
 /// parse, so misspelled numeric options never silently run a wrong config.
+///
+/// Every lookup (has/get/...) marks its key as recognised; after all
+/// options have been read, call warn_unrecognized() to flag typos like
+/// `--trce=` that would otherwise be ignored silently.
 class CliArgs {
  public:
   CliArgs(int argc, const char* const* argv);
@@ -29,9 +34,16 @@ class CliArgs {
     return positional_;
   }
 
+  /// Prints a stderr warning for each option that was supplied but never
+  /// looked up. Call after the last get*(); returns the number of unknown
+  /// options so callers can choose to make the typo fatal.
+  std::size_t warn_unrecognized() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  /// Keys the program has looked up — i.e. options it understands.
+  mutable std::set<std::string> seen_;
 };
 
 }  // namespace easched::support
