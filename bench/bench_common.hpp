@@ -9,6 +9,7 @@
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
+#include "experiments/sweep.hpp"
 #include "support/table.hpp"
 #include "workload/synthetic.hpp"
 
@@ -22,17 +23,40 @@ inline workload::Workload week_workload(std::uint64_t seed = kSeed) {
   return workload::evaluation_workload(seed);
 }
 
+/// The standard week configuration: 100-node evaluation datacenter, policy
+/// by name, threshold pair.
+inline experiments::RunConfig week_run_config(const std::string& policy,
+                                              double lambda_min = 0.30,
+                                              double lambda_max = 0.90) {
+  experiments::RunConfig config;
+  config.datacenter = experiments::evaluation_datacenter(kSeed);
+  config.policy = policy;
+  config.driver.power.lambda_min = lambda_min;
+  config.driver.power.lambda_max = lambda_max;
+  return config;
+}
+
+/// SweepTask for one standard week run. The config factory re-creates the
+/// RunConfig on whichever worker thread executes the task (RunConfig is
+/// move-only, so tasks carry the recipe, not the value). `jobs` must
+/// outlive the sweep.
+inline experiments::SweepTask week_task(const workload::Workload& jobs,
+                                        std::string policy,
+                                        double lambda_min = 0.30,
+                                        double lambda_max = 0.90) {
+  return {&jobs, [policy = std::move(policy), lambda_min, lambda_max] {
+            return week_run_config(policy, lambda_min, lambda_max);
+          }};
+}
+
 /// Runs one policy over the week on the 100-node evaluation datacenter.
 inline experiments::RunResult run_week(
     const workload::Workload& jobs, const std::string& policy,
     double lambda_min = 0.30, double lambda_max = 0.90,
     std::unique_ptr<sched::Policy> instance = nullptr) {
-  experiments::RunConfig config;
-  config.datacenter = experiments::evaluation_datacenter(kSeed);
-  config.policy = policy;
+  experiments::RunConfig config = week_run_config(policy, lambda_min,
+                                                  lambda_max);
   config.policy_instance = std::move(instance);
-  config.driver.power.lambda_min = lambda_min;
-  config.driver.power.lambda_max = lambda_max;
   return experiments::run_experiment(jobs, std::move(config));
 }
 

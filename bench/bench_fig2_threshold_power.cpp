@@ -35,8 +35,21 @@ int main(int argc, char** argv) {
   for (double lx : lmaxs) head.push_back(support::TextTable::num(lx * 100, 0));
   table.header(head);
 
+  // Fan the feasible grid points across EASCHED_SWEEP_THREADS workers;
+  // results come back in submission (row-major grid) order, so the table
+  // below is byte-identical for any thread count.
+  experiments::SweepRunner sweep;
+  std::vector<experiments::SweepTask> tasks;
+  for (double ln : lmins) {
+    for (double lx : lmaxs) {
+      if (lx > ln) tasks.push_back(bench::week_task(jobs, "SB", ln, lx));
+    }
+  }
+  const auto results = sweep.run(std::move(tasks));
+
   std::vector<std::vector<double>> surface;
   double corner_hi = 0, corner_lo = 0;
+  std::size_t next = 0;
   for (double ln : lmins) {
     std::vector<std::string> row{support::TextTable::num(ln * 100, 0)};
     std::vector<double> srow;
@@ -46,7 +59,7 @@ int main(int argc, char** argv) {
         srow.push_back(-1);
         continue;
       }
-      const auto res = bench::run_week(jobs, "SB", ln, lx);
+      const auto& res = results[next++];
       row.push_back(support::TextTable::num(res.report.energy_kwh, 0));
       srow.push_back(res.report.energy_kwh);
       if (ln == lmins.front() && lx == lmaxs[1]) corner_hi = res.report.energy_kwh;

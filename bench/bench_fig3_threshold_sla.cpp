@@ -36,8 +36,20 @@ int main(int argc, char** argv) {
   for (double lx : lmaxs) head.push_back(support::TextTable::num(lx * 100, 0));
   table.header(head);
 
+  // Same sweep shape as Figure 2: grid points fan out across
+  // EASCHED_SWEEP_THREADS workers, results return in grid order.
+  experiments::SweepRunner sweep;
+  std::vector<experiments::SweepTask> tasks;
+  for (double ln : lmins) {
+    for (double lx : lmaxs) {
+      if (lx > ln) tasks.push_back(bench::week_task(jobs, "SB", ln, lx));
+    }
+  }
+  const auto results = sweep.run(std::move(tasks));
+
   std::vector<std::vector<double>> surface;
   double s_lazy = 0, s_aggressive = 0;
+  std::size_t next = 0;
   for (double ln : lmins) {
     std::vector<std::string> row{support::TextTable::num(ln * 100, 0)};
     std::vector<double> srow;
@@ -47,7 +59,7 @@ int main(int argc, char** argv) {
         srow.push_back(-1);
         continue;
       }
-      const auto res = bench::run_week(jobs, "SB", ln, lx);
+      const auto& res = results[next++];
       row.push_back(support::TextTable::num(res.report.satisfaction, 1));
       srow.push_back(res.report.satisfaction);
       if (ln == lmins.front() && lx == lmaxs[1]) s_lazy = res.report.satisfaction;

@@ -23,38 +23,45 @@ int main() {
 
   std::vector<double> vs_bf, vs_dbf, sb_sat;
   const std::uint64_t seeds[] = {20071001, 1, 2, 3, 4};
+
+  // Six workloads: the Grid-like week under five seeds, plus a different
+  // workload *model* entirely (Lublin-Feitelson rigid jobs). They live in a
+  // stable vector because sweep tasks point into it.
+  std::vector<std::string> labels;
+  std::vector<workload::Workload> workloads;
+  workloads.reserve(std::size(seeds) + 1);
   for (std::uint64_t seed : seeds) {
-    const auto jobs = bench::week_workload(seed);
-    const auto bf = bench::run_week(jobs, "BF", 0.30, 0.90).report;
-    const auto dbf = bench::run_week(jobs, "DBF", 0.30, 0.90).report;
-    const auto sb = bench::run_week(jobs, "SB", 0.40, 0.90).report;
-    const double cut_bf = 100.0 * (1.0 - sb.energy_kwh / bf.energy_kwh);
-    const double cut_dbf = 100.0 * (1.0 - sb.energy_kwh / dbf.energy_kwh);
-    vs_bf.push_back(cut_bf);
-    vs_dbf.push_back(cut_dbf);
-    sb_sat.push_back(sb.satisfaction);
-    table.add_row({std::to_string(seed),
-                   support::TextTable::num(bf.energy_kwh, 1),
-                   support::TextTable::num(dbf.energy_kwh, 1),
-                   support::TextTable::num(sb.energy_kwh, 1),
-                   support::TextTable::num(cut_bf, 1),
-                   support::TextTable::num(cut_dbf, 1),
-                   support::TextTable::num(sb.satisfaction, 1)});
+    labels.push_back(std::to_string(seed));
+    workloads.push_back(bench::week_workload(seed));
   }
-  // A different workload *model* entirely: Lublin-Feitelson rigid jobs.
   {
     workload::LublinFeitelsonConfig lf;
     lf.mean_jobs_per_hour = 16;  // fills the fleet like the Grid week
-    const auto jobs = workload::generate_lublin_feitelson(lf);
-    const auto bf = bench::run_week(jobs, "BF", 0.30, 0.90).report;
-    const auto dbf = bench::run_week(jobs, "DBF", 0.30, 0.90).report;
-    const auto sb = bench::run_week(jobs, "SB", 0.40, 0.90).report;
+    labels.push_back("LF model");
+    workloads.push_back(workload::generate_lublin_feitelson(lf));
+  }
+
+  // All 18 runs (6 workloads x {BF, DBF, SB}) fan out through one sweep;
+  // results come back grouped per workload in submission order.
+  experiments::SweepRunner sweep;
+  std::vector<experiments::SweepTask> tasks;
+  for (const auto& jobs : workloads) {
+    tasks.push_back(bench::week_task(jobs, "BF", 0.30, 0.90));
+    tasks.push_back(bench::week_task(jobs, "DBF", 0.30, 0.90));
+    tasks.push_back(bench::week_task(jobs, "SB", 0.40, 0.90));
+  }
+  const auto results = sweep.run(std::move(tasks));
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& bf = results[3 * i].report;
+    const auto& dbf = results[3 * i + 1].report;
+    const auto& sb = results[3 * i + 2].report;
     const double cut_bf = 100.0 * (1.0 - sb.energy_kwh / bf.energy_kwh);
     const double cut_dbf = 100.0 * (1.0 - sb.energy_kwh / dbf.energy_kwh);
     vs_bf.push_back(cut_bf);
     vs_dbf.push_back(cut_dbf);
     sb_sat.push_back(sb.satisfaction);
-    table.add_row({"LF model", support::TextTable::num(bf.energy_kwh, 1),
+    table.add_row({labels[i], support::TextTable::num(bf.energy_kwh, 1),
                    support::TextTable::num(dbf.energy_kwh, 1),
                    support::TextTable::num(sb.energy_kwh, 1),
                    support::TextTable::num(cut_bf, 1),

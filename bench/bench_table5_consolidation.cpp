@@ -32,22 +32,32 @@ int main() {
     double ce, cf;
   };
   const Variant variants[] = {{0, 40}, {20, 40}, {60, 100}};
-  metrics::RunReport reports[3];
-  int i = 0;
+  // Each task's factory builds its custom-cost policy on the worker thread;
+  // the three variants run concurrently under EASCHED_SWEEP_THREADS.
+  experiments::SweepRunner sweep;
+  std::vector<experiments::SweepTask> tasks;
   for (const auto& v : variants) {
-    auto config = core::ScoreBasedConfig::sb();
-    config.params.c_empty = v.ce;
-    config.params.c_fill = v.cf;
-    auto policy = std::make_unique<core::ScoreBasedPolicy>(config);
-    const auto res =
-        bench::run_week(jobs, "SB", 0.30, 0.90, std::move(policy));
-    reports[i] = res.report;
-    auto row = bench::report_row("", res.report, false, true);
+    tasks.push_back({&jobs, [ce = v.ce, cf = v.cf] {
+                       auto config = bench::week_run_config("SB", 0.30, 0.90);
+                       auto sb = core::ScoreBasedConfig::sb();
+                       sb.params.c_empty = ce;
+                       sb.params.c_fill = cf;
+                       config.policy_instance =
+                           std::make_unique<core::ScoreBasedPolicy>(sb);
+                       return config;
+                     }});
+  }
+  const auto results = sweep.run(std::move(tasks));
+
+  metrics::RunReport reports[3];
+  for (int i = 0; i < 3; ++i) {
+    const auto& v = variants[i];
+    reports[i] = results[static_cast<std::size_t>(i)].report;
+    auto row = bench::report_row("", reports[i], false, true);
     row.erase(row.begin());
     row.insert(row.begin(), {support::TextTable::num(v.ce, 0),
                              support::TextTable::num(v.cf, 0)});
     table.add_row(row);
-    ++i;
   }
   std::printf("%s\n", table.render().c_str());
 

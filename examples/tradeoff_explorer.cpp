@@ -12,6 +12,7 @@
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
+#include "experiments/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "workload/synthetic.hpp"
@@ -43,21 +44,38 @@ int main(int argc, char** argv) {
   power.header(head);
   sla.header(head);
 
+  // Grid points are independent runs: fan them out across
+  // EASCHED_SWEEP_THREADS workers. Submission-order results keep both
+  // tables byte-identical for any thread count.
+  experiments::SweepRunner sweep;
+  std::vector<experiments::SweepTask> tasks;
+  for (double ln : lmins) {
+    for (double lx : lmaxs) {
+      if (lx <= ln) continue;  // infeasible: lambda_max must exceed lambda_min
+      tasks.push_back({&jobs, [seed = wl.seed, policy, ln, lx] {
+                         experiments::RunConfig config;
+                         config.datacenter =
+                             experiments::evaluation_datacenter(seed);
+                         config.policy = policy;
+                         config.driver.power.lambda_min = ln;
+                         config.driver.power.lambda_max = lx;
+                         return config;
+                       }});
+    }
+  }
+  const auto results = sweep.run(std::move(tasks));
+
+  std::size_t next = 0;
   for (double ln : lmins) {
     std::vector<std::string> prow{support::TextTable::num(ln * 100, 0)};
     std::vector<std::string> srow = prow;
     for (double lx : lmaxs) {
-      if (lx <= ln) {  // infeasible corner: lambda_max must exceed lambda_min
+      if (lx <= ln) {
         prow.push_back("-");
         srow.push_back("-");
         continue;
       }
-      experiments::RunConfig config;
-      config.datacenter = experiments::evaluation_datacenter(wl.seed);
-      config.policy = policy;
-      config.driver.power.lambda_min = ln;
-      config.driver.power.lambda_max = lx;
-      const auto result = experiments::run_experiment(jobs, std::move(config));
+      const auto& result = results[next++];
       prow.push_back(support::TextTable::num(result.report.energy_kwh, 0));
       srow.push_back(support::TextTable::num(result.report.satisfaction, 1));
     }

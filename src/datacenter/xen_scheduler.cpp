@@ -35,36 +35,43 @@ XenAllocation allocate_cpu(double capacity_pct,
   // unsatisfied VMs; VMs whose share exceeds their demand are clamped and
   // their surplus is redistributed next round. Terminates in <= n rounds
   // because each round satisfies at least one VM.
+  //
+  // Unsatisfied VMs are tracked in a compacted index list, so each round
+  // costs O(active), not O(n): once a VM is satisfied it is never visited
+  // again. The list stays in ascending VM index order and active_weight is
+  // recomputed by summing over it, so every floating-point operation — and
+  // therefore every golden trace — is identical to a full rescan.
   std::vector<double> want(vms.size());
-  std::vector<bool> satisfied(vms.size(), false);
+  std::vector<std::size_t> active;
+  active.reserve(vms.size());
   for (std::size_t i = 0; i < vms.size(); ++i) {
     want[i] = vms[i].cap_pct > 0 ? std::min(vms[i].demand_pct, vms[i].cap_pct)
                                  : vms[i].demand_pct;
-    if (want[i] == 0) satisfied[i] = true;
+    if (want[i] > 0) active.push_back(i);
   }
 
-  while (remaining > 1e-9) {
+  while (remaining > 1e-9 && !active.empty()) {
     double active_weight = 0;
-    for (std::size_t i = 0; i < vms.size(); ++i)
-      if (!satisfied[i]) active_weight += vms[i].weight;
-    if (active_weight == 0) break;
+    for (const std::size_t i : active) active_weight += vms[i].weight;
+    EA_ASSERT(active_weight > 0);  // weights are positive by precondition
 
     bool clamped_any = false;
     const double budget = remaining;
-    for (std::size_t i = 0; i < vms.size(); ++i) {
-      if (satisfied[i]) continue;
+    std::size_t kept = 0;
+    for (const std::size_t i : active) {
       const double share = budget * vms[i].weight / active_weight;
       const double missing = want[i] - out.vm_alloc_pct[i];
       if (share >= missing) {
         out.vm_alloc_pct[i] += missing;
         remaining -= missing;
-        satisfied[i] = true;
-        clamped_any = true;
+        clamped_any = true;  // satisfied: compacted out of the active list
       } else {
         out.vm_alloc_pct[i] += share;
         remaining -= share;
+        active[kept++] = i;
       }
     }
+    active.resize(kept);
     if (!clamped_any) break;  // everyone took a proportional share; done
   }
 

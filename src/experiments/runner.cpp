@@ -58,7 +58,12 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   result.jobs_submitted = driver.submitted();
   result.jobs_finished = driver.finished();
   result.events_dispatched = simulator.dispatched();
+  result.events_cancelled = simulator.cancelled();
   result.hit_horizon = config.horizon_s > 0 && !driver.all_done();
+  // Feed the kernel counters through the recorder before the report is
+  // built, so sim.events_* rows land in every registry snapshot.
+  recorder.events_dispatched = result.events_dispatched;
+  recorder.events_cancelled = result.events_cancelled;
   result.report =
       make_report(recorder, simulator.now(), policy->name(),
                   config.driver.power.lambda_min,

@@ -46,6 +46,7 @@ struct RunResult {
   std::size_t jobs_submitted = 0;
   std::size_t jobs_finished = 0;
   std::uint64_t events_dispatched = 0;
+  std::uint64_t events_cancelled = 0;
   sim::SimTime end_time_s = 0;
   bool hit_horizon = false;
 

@@ -1,0 +1,70 @@
+#include "experiments/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/contracts.hpp"
+
+namespace easched::experiments {
+
+SweepRunner::SweepRunner(int threads) : threads_(std::max(1, threads)) {}
+
+std::vector<RunResult> SweepRunner::run(std::vector<SweepTask> tasks) {
+  for (const SweepTask& task : tasks) {
+    EA_EXPECTS(task.jobs != nullptr);
+    EA_EXPECTS(task.config != nullptr);
+  }
+  std::vector<RunResult> results(tasks.size());
+
+  const auto execute = [&](std::size_t i) {
+    results[i] = run_experiment(*tasks[i].jobs, tasks[i].config());
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(threads_), tasks.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) execute(i);
+    return results;
+  }
+
+  // Dynamic claiming: each worker takes the next unclaimed index. Which
+  // thread runs which task varies, but results are stored by index, so the
+  // returned vector is independent of scheduling.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        execute(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+int SweepRunner::env_threads() {
+  const char* env = std::getenv("EASCHED_SWEEP_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long value = std::strtol(env, nullptr, 10);
+  return static_cast<int>(std::clamp(value, 1L, 64L));
+}
+
+}  // namespace easched::experiments

@@ -135,6 +135,12 @@ struct Recorder {
   /// report aggregates these into p50/p95/max.
   std::vector<double> recovery_s;
 
+  /// Simulation-kernel throughput counters, filled by the runner after the
+  /// run (the recorder never touches the event queue itself); published as
+  /// sim.events_dispatched / sim.events_cancelled.
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t events_cancelled = 0;
+
   /// Highest guest-demand/capacity ratio any host ever reached (1.0 =
   /// never oversubscribed; dom0 management overhead not counted).
   /// Consolidating policies must keep this at 1; the Random/Round-Robin

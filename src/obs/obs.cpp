@@ -20,6 +20,8 @@ void publish_run_metrics(const metrics::Recorder& rec,
   registry.counter("robust.rollbacks").set(c.rollbacks);
   registry.counter("robust.quarantines").set(c.quarantines);
   registry.counter("robust.boot_failures").set(c.boot_failures);
+  registry.counter("sim.events_dispatched").set(rec.events_dispatched);
+  registry.counter("sim.events_cancelled").set(rec.events_cancelled);
   registry.gauge("run.max_oversubscription").set(rec.max_oversubscription);
 
   // Recovery times span VM re-creation (~minutes) through repair-gated

@@ -6,38 +6,37 @@
 
 namespace easched::sim {
 
-EventId Simulator::at(SimTime t, std::function<void()> fn) {
-  EA_EXPECTS(t >= now_);
-  return queue_.push(t, std::move(fn));
-}
-
-EventId Simulator::after(SimTime dt, std::function<void()> fn) {
-  EA_EXPECTS(dt >= 0);
-  return queue_.push(now_ + dt, std::move(fn));
-}
-
 Simulator::PeriodicHandle Simulator::every(SimTime period,
                                            std::function<void()> fn) {
   EA_EXPECTS(period > 0);
   const std::uint64_t key = next_periodic_key_++;
-  // The re-arming closure owns the task; it looks itself up in
-  // periodic_next_ so cancel_periodic() can drop the pending occurrence.
-  auto arm = std::make_shared<std::function<void()>>();
-  *arm = [this, key, period, fn = std::move(fn), arm]() mutable {
-    const auto it = periodic_next_.find(key);
-    if (it == periodic_next_.end()) return;  // cancelled since queued
-    it->second = queue_.push(now_ + period, *arm);
-    fn();
-  };
-  periodic_next_[key] = queue_.push(now_ + period, *arm);
+  auto task = std::make_shared<Periodic>();
+  task->period = period;
+  task->fn = std::move(fn);
+  // The queued closure is only (this, key): it fits the event pool's inline
+  // buffer, so periodic re-arming never allocates.
+  task->next = queue_.push(now_ + period, [this, key] { fire_periodic(key); });
+  periodics_.emplace(key, std::move(task));
   return PeriodicHandle{key};
 }
 
+void Simulator::fire_periodic(std::uint64_t key) {
+  const auto it = periodics_.find(key);
+  if (it == periodics_.end()) return;  // cancelled since queued
+  // Local copy keeps the task alive while its body runs, even if the body
+  // cancels the registration. Re-arm before calling so the body can cancel
+  // the next occurrence too.
+  const std::shared_ptr<Periodic> task = it->second;
+  task->next =
+      queue_.push(now_ + task->period, [this, key] { fire_periodic(key); });
+  task->fn();
+}
+
 void Simulator::cancel_periodic(PeriodicHandle handle) {
-  const auto it = periodic_next_.find(handle.key);
-  if (it == periodic_next_.end()) return;
-  queue_.cancel(it->second);
-  periodic_next_.erase(it);
+  const auto it = periodics_.find(handle.key);
+  if (it == periodics_.end()) return;
+  queue_.cancel(it->second->next);
+  periodics_.erase(it);
 }
 
 void Simulator::step() {

@@ -8,12 +8,15 @@
 // be accelerated" property falls out of the event-driven design).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "support/contracts.hpp"
 
 namespace easched::sim {
 
@@ -22,11 +25,20 @@ class Simulator {
   /// Current simulation time. Starts at 0.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute time `t`. Requires t >= now().
-  EventId at(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t`. Requires t >= now(). Accepts any
+  /// void() callable; small captures are stored inline in the event pool.
+  template <typename F>
+  EventId at(SimTime t, F&& fn) {
+    EA_EXPECTS(t >= now_);
+    return queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after a delay of `dt` seconds. Requires dt >= 0.
-  EventId after(SimTime dt, std::function<void()> fn);
+  template <typename F>
+  EventId after(SimTime dt, F&& fn) {
+    EA_EXPECTS(dt >= 0);
+    return queue_.push(now_ + dt, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` every `period` seconds, first firing at now() + period,
   /// until the returned handle is cancelled via `cancel_periodic()` or the
@@ -57,21 +69,32 @@ class Simulator {
     return dispatched_;
   }
 
+  /// Number of successful event cancellations so far.
+  [[nodiscard]] std::uint64_t cancelled() const noexcept {
+    return queue_.cancelled();
+  }
+
   /// Live events still pending.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
-  struct Periodic;
+  /// A registered periodic task. Held by shared_ptr so the task body stays
+  /// alive while it runs even if the body cancels its own registration.
+  struct Periodic {
+    SimTime period = 0;
+    std::function<void()> fn;
+    EventId next = kNoEvent;  ///< pending occurrence, for cancel_periodic
+  };
+
   void step();
+  void fire_periodic(std::uint64_t key);
 
   EventQueue queue_;
   SimTime now_ = 0;
   bool stopping_ = false;
   std::uint64_t dispatched_ = 0;
   std::uint64_t next_periodic_key_ = 1;
-  // Periodic tasks are re-armed through a shared flag so cancel works even
-  // while the task's next occurrence is already queued.
-  std::unordered_map<std::uint64_t, EventId> periodic_next_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Periodic>> periodics_;
 };
 
 }  // namespace easched::sim

@@ -230,6 +230,22 @@ TEST(RunTrace, ByteIdenticalAcrossSolverThreadCounts) {
             threaded->result.events_dispatched);
 }
 
+TEST(RunTrace, RunPublishesKernelCountersToRegistry) {
+  // The runner must feed the simulation-kernel counters through the
+  // recorder into the attached registry; they mirror the RunResult fields.
+  const auto run = run_traced(1);
+  const auto snap = run->obs.registry.snapshot();
+  const auto* dispatched = snap.find("sim.events_dispatched");
+  const auto* cancelled = snap.find("sim.events_cancelled");
+  ASSERT_NE(dispatched, nullptr);
+  ASSERT_NE(cancelled, nullptr);
+  EXPECT_GT(run->result.events_dispatched, 0u);
+  EXPECT_DOUBLE_EQ(dispatched->value,
+                   static_cast<double>(run->result.events_dispatched));
+  EXPECT_DOUBLE_EQ(cancelled->value,
+                   static_cast<double>(run->result.events_cancelled));
+}
+
 TEST(RunTrace, ChromeExportOfRealRunValidates) {
   const auto run = run_traced(1);
   std::ostringstream os;
@@ -355,6 +371,8 @@ TEST(MetricsRegistry, PublishedRunMetricsMatchRecorderCounters) {
   recorder.counts.retries = 4;
   recorder.recovery_s = {2, 120, 9000};
   recorder.max_oversubscription = 1.25;
+  recorder.events_dispatched = 1234;
+  recorder.events_cancelled = 56;
 
   obs::MetricsRegistry registry;
   obs::publish_run_metrics(recorder, registry);
@@ -367,6 +385,8 @@ TEST(MetricsRegistry, PublishedRunMetricsMatchRecorderCounters) {
   EXPECT_DOUBLE_EQ(value("robust.op_failures"), 3);
   EXPECT_DOUBLE_EQ(value("robust.retries"), 4);
   EXPECT_DOUBLE_EQ(value("run.max_oversubscription"), 1.25);
+  EXPECT_DOUBLE_EQ(value("sim.events_dispatched"), 1234);
+  EXPECT_DOUBLE_EQ(value("sim.events_cancelled"), 56);
   const auto* recovery = snap.find("robust.recovery_s");
   ASSERT_NE(recovery, nullptr);
   EXPECT_EQ(recovery->count, 3u);

@@ -1,0 +1,112 @@
+// SweepRunner: deterministic parallel fan-out of independent runs.
+//
+// The contract under test: results come back in submission order and are
+// bit-identical whatever the thread count — the sweep harness must be
+// invisible in every number a bench prints.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "experiments/setup.hpp"
+#include "experiments/sweep.hpp"
+#include "workload/synthetic.hpp"
+
+namespace easched::experiments {
+namespace {
+
+workload::Workload small_week(std::uint64_t seed = 77) {
+  workload::SyntheticConfig c;
+  c.seed = seed;
+  c.span_seconds = 0.75 * sim::kDay;
+  c.mean_jobs_per_hour = 8;
+  return workload::generate(c);
+}
+
+SweepTask task(const workload::Workload& jobs, std::string policy,
+               double lmin, double lmax) {
+  return {&jobs, [policy = std::move(policy), lmin, lmax] {
+            RunConfig config;
+            config.datacenter.hosts = evaluation_hosts(4, 10, 6);
+            config.datacenter.seed = 5;
+            config.policy = policy;
+            config.driver.power.lambda_min = lmin;
+            config.driver.power.lambda_max = lmax;
+            return config;
+          }};
+}
+
+std::vector<SweepTask> grid(const workload::Workload& jobs) {
+  std::vector<SweepTask> tasks;
+  for (const char* policy : {"BF", "SB"}) {
+    for (double lmin : {0.20, 0.40}) {
+      tasks.push_back(task(jobs, policy, lmin, 0.90));
+    }
+  }
+  return tasks;
+}
+
+// Every field a bench table or shape check reads.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.report.policy, b.report.policy);
+  EXPECT_EQ(a.report.energy_kwh, b.report.energy_kwh);
+  EXPECT_EQ(a.report.cpu_hours, b.report.cpu_hours);
+  EXPECT_EQ(a.report.satisfaction, b.report.satisfaction);
+  EXPECT_EQ(a.report.delay_pct, b.report.delay_pct);
+  EXPECT_EQ(a.report.avg_working, b.report.avg_working);
+  EXPECT_EQ(a.report.avg_online, b.report.avg_online);
+  EXPECT_EQ(a.report.migrations, b.report.migrations);
+  EXPECT_EQ(a.jobs_finished, b.jobs_finished);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.events_cancelled, b.events_cancelled);
+  EXPECT_EQ(a.end_time_s, b.end_time_s);
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder) {
+  const auto jobs = small_week();
+  SweepRunner sweep(4);
+  const auto results = sweep.run(grid(jobs));
+  ASSERT_EQ(results.size(), 4u);
+  // Task order was BF, BF, SB, SB.
+  EXPECT_EQ(results[0].report.policy, "BF");
+  EXPECT_EQ(results[1].report.policy, "BF");
+  EXPECT_EQ(results[2].report.policy, results[3].report.policy);
+  EXPECT_NE(results[2].report.policy, "BF");
+  for (const auto& r : results) {
+    EXPECT_GT(r.jobs_finished, 0u);
+    EXPECT_GT(r.events_dispatched, 0u);
+  }
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeAnyResult) {
+  const auto jobs = small_week();
+  const auto serial = SweepRunner(1).run(grid(jobs));
+  const auto threaded = SweepRunner(4).run(grid(jobs));
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], threaded[i]);
+  }
+  // More workers than tasks must also be harmless.
+  const auto oversubscribed = SweepRunner(16).run(grid(jobs));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], oversubscribed[i]);
+  }
+}
+
+TEST(Sweep, EnvThreadsParsesAndClamps) {
+  // Only exercised when the variable is not already set by the harness.
+  EXPECT_GE(SweepRunner::env_threads(), 1);
+  EXPECT_LE(SweepRunner::env_threads(), 64);
+  SweepRunner defaulted;
+  EXPECT_EQ(defaulted.threads(), SweepRunner::env_threads());
+  EXPECT_EQ(SweepRunner(0).threads(), 1);  // floor at one worker
+}
+
+TEST(Sweep, EmptyTaskListIsFine) {
+  EXPECT_TRUE(SweepRunner(4).run({}).empty());
+}
+
+}  // namespace
+}  // namespace easched::experiments
