@@ -1,0 +1,56 @@
+#!/bin/sh
+# Runs the invariant-checker validation matrix (see src/validate/ and
+# docs/testing.md):
+#
+#   1. default build      — full test suite, then the validate-labelled
+#                           tests again with run-time checking forced on
+#                           for every experiment (EASCHED_VALIDATE=1)
+#   2. AddressSanitizer   — validate + faults suites
+#   3. ThreadSanitizer    — validate + solver suites (threaded solver
+#                           under the checker)
+#   4. EASCHED_VALIDATE=OFF — compile-out check: the hook call sites must
+#                           vanish and the validate suite must still pass
+#                           (the checker itself is always built)
+#
+# Usage: scripts/run_validation.sh [fast]
+#   fast — default build only (step 1); CI tier-1 runs this.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+fast="${1:-}"
+
+build() {
+  dir="$1"
+  shift
+  cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DEASCHED_BUILD_BENCH=OFF -DEASCHED_BUILD_EXAMPLES=OFF "$@" >/dev/null
+  cmake --build "$dir" -j"$(nproc)" >/dev/null
+}
+
+echo "== default build: full suite + validated experiments =="
+build "$repo/build-validate"
+ctest --test-dir "$repo/build-validate" --output-on-failure -j"$(nproc)"
+EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate" -L validate \
+  --output-on-failure -j"$(nproc)"
+
+if [ "$fast" = "fast" ]; then
+  echo "validation (fast) OK"
+  exit 0
+fi
+
+echo "== address-sanitized build: validate + faults =="
+build "$repo/build-validate-asan" -DEASCHED_SANITIZE=address
+EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-asan" \
+  -L "validate|faults" --output-on-failure -j"$(nproc)"
+
+echo "== thread-sanitized build: validate + solver =="
+build "$repo/build-validate-tsan" -DEASCHED_SANITIZE=thread
+EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-tsan" \
+  -L "validate|solver" --output-on-failure -j"$(nproc)"
+
+echo "== EASCHED_VALIDATE=OFF build: hooks compiled out =="
+build "$repo/build-validate-off" -DEASCHED_VALIDATE=OFF
+EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-off" -L validate \
+  --output-on-failure -j"$(nproc)"
+
+echo "validation matrix OK"

@@ -6,6 +6,7 @@
 #include "core/hill_climb.hpp"
 #include "obs/obs.hpp"
 #include "support/contracts.hpp"
+#include "validate/validate.hpp"
 
 namespace easched::core {
 
@@ -90,6 +91,11 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
       limits.pool = pool();
       last_stats_ = hill_climb(model, limits);
     }
+  }
+  // The climb warmed whatever cells it touched; before committing the plan
+  // to actions, hold the cache to the recompute contract (kScoreCache).
+  if (auto* ck = validate::checker(ctx.dc.recorder())) {
+    ck->check_score_model(model, now);
   }
 
   std::vector<sched::Action> actions;

@@ -356,6 +356,33 @@ ScoreModel::Dirty ScoreModel::move(int r, int c) {
   return dirty;
 }
 
+int ScoreModel::count_cache_divergences(int* first_r, int* first_c) const {
+  int diverged = 0;
+  for (int r = 0; r < virtual_row(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      const std::size_t i = at(r, c);
+      if (!cache_ok_[i]) continue;  // cold cells cannot be stale
+      // Bitwise comparison, matching the zero-tolerance contract the
+      // property tests hold: both sides run the same arithmetic.
+      if (cache_[i] != score_cell(r, c)) {
+        if (diverged == 0) {
+          if (first_r != nullptr) *first_r = r;
+          if (first_c != nullptr) *first_c = c;
+        }
+        ++diverged;
+      }
+    }
+  }
+  return diverged;
+}
+
+void ScoreModel::debug_corrupt_cache(int r, int c, double delta) {
+  EA_EXPECTS(r >= 0 && r < virtual_row());
+  EA_EXPECTS(c >= 0 && c < cols());
+  (void)cell(r, c);  // force the cell warm so the perturbation sticks
+  cache_[at(r, c)] += delta;
+}
+
 double ScoreModel::row_aggregate(int r) const {
   EA_EXPECTS(r >= 0 && r < rows());
   if (r == virtual_row()) return kInfScore;

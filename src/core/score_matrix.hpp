@@ -129,6 +129,20 @@ class ScoreModel {
   /// of infinite ones, folded into one comparable number.
   [[nodiscard]] double row_aggregate(int r) const;
 
+  /// Compares every *warmed* cached cell against a fresh recomputation and
+  /// returns how many diverge; the coordinates of the first divergence land
+  /// in `first_r`/`first_c` (optional). Cold cells are skipped — only
+  /// memoized values can be stale — so the scan costs one recompute per
+  /// warm cell and nothing touches the cache. This is the kScoreCache
+  /// invariant rule (validate/invariant_checker.hpp).
+  [[nodiscard]] int count_cache_divergences(int* first_r = nullptr,
+                                            int* first_c = nullptr) const;
+
+  /// Test hook for the validator's mutation tests: forces cell (r, c) into
+  /// the cache and then perturbs the cached value by `delta`, simulating a
+  /// missed invalidation. Requires a real row and a valid column.
+  void debug_corrupt_cache(int r, int c, double delta);
+
  private:
   struct HostRow {
     datacenter::HostId id = 0;

@@ -10,6 +10,7 @@
 #include "faults/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "support/contracts.hpp"
+#include "validate/validate.hpp"
 #include "support/distributions.hpp"
 #include "workload/satisfaction.hpp"
 
@@ -611,7 +612,7 @@ void Datacenter::set_maintenance(HostId h, bool on) {
 void Datacenter::power_on(HostId h) {
   Host& host = host_mut(h);
   EA_EXPECTS(host.state == HostState::kOff);
-  host.state = HostState::kBooting;
+  set_host_state(host, HostState::kBooting);
   update_power(host);
   ++recorder_.counts.turn_ons;
   const sim::SimTime boot_began = sim_.now();
@@ -666,7 +667,7 @@ void Datacenter::power_on(HostId h) {
       }
       sim_.cancel(hh.boot_deadline_event);
       hh.boot_deadline_event = sim::kNoEvent;
-      hh.state = HostState::kOn;
+      set_host_state(hh, HostState::kOn);
       update_power(hh);
       if (auto* tr = obs::tracer(recorder_)) {
         tr->span(boot_began, sim_.now(), obs::EventKind::kHostOnline).host = h;
@@ -683,7 +684,7 @@ void Datacenter::power_off(HostId h) {
   Host& host = host_mut(h);
   EA_EXPECTS(host.is_idle_on());
   cancel_failure(h);
-  host.state = HostState::kShuttingDown;
+  set_host_state(host, HostState::kShuttingDown);
   update_power(host);
   ++recorder_.counts.turn_offs;
   const sim::SimTime shutdown_began = sim_.now();
@@ -729,7 +730,7 @@ void Datacenter::power_off(HostId h) {
     if (off_fails) {
       // Shutdown failed: the host is still drawing power and reports back
       // online so the power controller can fold it into future decisions.
-      hh.state = HostState::kOn;
+      set_host_state(hh, HostState::kOn);
       update_power(hh);
       ++recorder_.counts.op_failures;
       record_fault_event("power-off-failed host=%u",
@@ -748,7 +749,7 @@ void Datacenter::power_off(HostId h) {
       if (on_host_online) on_host_online(h);
       return;
     }
-    hh.state = HostState::kOff;
+    set_host_state(hh, HostState::kOff);
     update_power(hh);
     if (auto* tr = obs::tracer(recorder_)) {
       tr->span(shutdown_began, sim_.now(), obs::EventKind::kHostOff).host = h;
@@ -857,7 +858,7 @@ void Datacenter::fail_host(HostId h) {
     }
   }
 
-  host.state = HostState::kFailed;
+  set_host_state(host, HostState::kFailed);
   host.used_cpu_pct = 0;
   update_power(host);
   ++recorder_.counts.failures;
@@ -873,7 +874,7 @@ void Datacenter::fail_host(HostId h) {
   const double repair = failure_model_.draw_repair_time(rng_);
   host.transition_event = sim_.after(repair, [this, h] {
     Host& hh = host_mut(h);
-    hh.state = HostState::kOff;
+    set_host_state(hh, HostState::kOff);
     hh.transition_event = sim::kNoEvent;
     update_power(hh);
     if (auto* tr = obs::tracer(recorder_)) {
@@ -891,6 +892,24 @@ void Datacenter::inject_host_failure(HostId h) {
   if (hosts_[h].state != HostState::kOn) return;
   cancel_failure(h);
   fail_host(h);
+}
+
+void Datacenter::debug_add_resident(HostId h, VmId v) {
+  host_mut(h).residents.push_back(v);
+}
+
+void Datacenter::debug_force_place(VmId v, HostId h) {
+  Vm& m = vm_mut(v);
+  m.state = VmState::kRunning;
+  m.host = h;
+  host_mut(h).residents.push_back(v);
+}
+
+void Datacenter::set_host_state(Host& h, HostState to) {
+  if (auto* ck = validate::checker(recorder_)) {
+    ck->on_host_transition(sim_.now(), h.id, h.state, to);
+  }
+  h.state = to;
 }
 
 // ---- fault-injection & recovery internals ---------------------------------
@@ -1055,7 +1074,7 @@ void Datacenter::boot_failed(HostId h) {
   host.transition_event = sim::kNoEvent;
   sim_.cancel(host.boot_deadline_event);
   host.boot_deadline_event = sim::kNoEvent;
-  host.state = HostState::kOff;
+  set_host_state(host, HostState::kOff);
   host.used_cpu_pct = 0;
   update_power(host);
   ++recorder_.counts.boot_failures;

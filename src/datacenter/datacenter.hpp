@@ -176,6 +176,17 @@ class Datacenter {
   /// repair scheduled). No-op unless the host is On.
   void inject_host_failure(HostId h);
 
+  /// Mutation-test hooks for the invariant checker (see validate/): each
+  /// corrupts the world in a way normal actuators never can, so the tests
+  /// can prove the corresponding rule actually fires. debug_add_resident
+  /// duplicates a resident-list entry (breaks VM conservation only);
+  /// debug_force_place installs a queued VM as Running on `h` with
+  /// *consistent* bookkeeping but without any capacity check (breaks
+  /// capacity when the VM does not fit). Neither reallocates nor touches
+  /// the meters.
+  void debug_add_resident(HostId h, VmId v);
+  void debug_force_place(VmId v, HostId h);
+
   // ---- notifications to the scheduler driver ------------------------------
 
   std::function<void(VmId)> on_vm_ready;     ///< creation completed
@@ -220,6 +231,11 @@ class Datacenter {
  private:
   Host& host_mut(HostId h);
   Vm& vm_mut(VmId v);
+
+  /// The single gateway for host power-state changes after construction:
+  /// notifies the attached invariant checker (power-legality rule) before
+  /// assigning, so every transition is validated or none are.
+  void set_host_state(Host& h, HostState to);
 
   /// Integrates progress and recomputes shares/power on a host.
   void reallocate(HostId h);

@@ -1,16 +1,48 @@
 #include "experiments/runner.hpp"
 
+#include <cstdlib>
 #include <optional>
 
 #include "experiments/setup.hpp"
 #include "faults/fault_injector.hpp"
 #include "sim/simulator.hpp"
 #include "support/contracts.hpp"
+#include "validate/repro.hpp"
+#include "validate/validate.hpp"
 
 namespace easched::experiments {
 
+namespace {
+
+/// FaultPlan::to_string() emits newline-separated key=value lines; the
+/// comma-joined form is what parse_fault_plan() accepts inline, which is
+/// what a repro bundle needs.
+std::string inline_fault_spec(const faults::FaultPlan& plan) {
+  std::string spec = plan.to_string();
+  for (char& c : spec) {
+    if (c == '\n') c = ',';
+  }
+  while (!spec.empty() && spec.back() == ',') spec.pop_back();
+  return spec;
+}
+
+}  // namespace
+
 RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   EA_EXPECTS(!jobs.empty());
+
+#if EASCHED_VALIDATE_ENABLED
+  if (!config.validate.enabled) {
+    // Runtime half of the switch: flip validation on without recompiling.
+    const char* env = std::getenv("EASCHED_VALIDATE");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      config.validate.enabled = true;
+    }
+  }
+#else
+  config.validate.enabled = false;
+#endif
 
   sim::Simulator simulator;
   metrics::Recorder recorder(config.datacenter.hosts.size());
@@ -36,6 +68,51 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   std::unique_ptr<sched::Policy> policy =
       config.policy_instance ? std::move(config.policy_instance)
                              : make_policy(config.policy);
+
+  std::optional<validate::InvariantChecker> checker;
+  std::string repro_written;
+  if (config.validate.enabled) {
+    checker.emplace(config.validate.checker);
+    recorder.validator = &*checker;
+    simulator.set_observer(&*checker);
+    checker->on_violation = [&config, &jobs, &recorder, &policy,
+                             &repro_written](const validate::Violation& v) {
+      const std::string what =
+          std::string(validate::to_string(v.rule)) + ": " + v.message;
+      if (auto* tr = obs::tracer(recorder)) {
+        auto& e = tr->emit(v.t, obs::EventKind::kInvariantViolation);
+        e.label = what;
+        e.arg("rule", static_cast<double>(static_cast<int>(v.rule)));
+      }
+      if (config.validate.repro_path.empty() || !repro_written.empty()) {
+        return;
+      }
+      // First violation: capture the run's deterministic inputs plus the
+      // workload slice submitted so far into a repro bundle.
+      validate::ReproBundle bundle;
+      bundle.policy = policy->name();
+      bundle.dc_seed = config.datacenter.seed;
+      for (const auto& spec : config.datacenter.hosts) {
+        bundle.host_classes.push_back(spec.klass);
+      }
+      bundle.inject_failures = config.datacenter.inject_failures;
+      bundle.checkpoint_enabled = config.datacenter.checkpoint.enabled;
+      bundle.checkpoint_period_s = config.datacenter.checkpoint.period_s;
+      bundle.lambda_min = config.driver.power.lambda_min;
+      bundle.lambda_max = config.driver.power.lambda_max;
+      bundle.horizon_s = config.horizon_s;
+      if (config.faults.enabled) {
+        bundle.fault_spec = inline_fault_spec(config.faults);
+      }
+      bundle.violation = what;
+      bundle.violation_t = v.t;
+      for (const auto& job : jobs) {
+        if (job.submit <= v.t) bundle.jobs.push_back(job);
+      }
+      validate::write_repro_bundle_file(config.validate.repro_path, bundle);
+      repro_written = config.validate.repro_path;
+    };
+  }
 
   sched::SchedulerDriver driver(simulator, dc, *policy, config.driver);
   if (auto* tr = obs::tracer(recorder)) {
@@ -71,6 +148,13 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   if (injector) {
     result.fault_trace = injector->trace();
     result.faults_injected = injector->injected_count();
+  }
+  if (checker) {
+    result.violations = checker->violations();
+    result.invariant_checks = checker->checks_run();
+    result.repro_path = repro_written;
+    simulator.set_observer(nullptr);
+    recorder.validator = nullptr;
   }
   // Post-run aggregation, not hot-path instrumentation: works even with
   // EASCHED_TRACE=OFF so --metrics-out survives instrumentation-free builds.

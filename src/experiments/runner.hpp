@@ -11,9 +11,21 @@
 #include "metrics/report.hpp"
 #include "obs/obs.hpp"
 #include "sched/driver.hpp"
+#include "validate/invariant_checker.hpp"
 #include "workload/job.hpp"
 
 namespace easched::experiments {
+
+/// Run-time invariant checking (see validate/). Enabled explicitly here or
+/// via the EASCHED_VALIDATE environment variable (any non-empty value
+/// other than "0"); a build with EASCHED_VALIDATE=OFF ignores both.
+struct RunValidation {
+  bool enabled = false;
+  validate::CheckerConfig checker;
+  /// Where to write the scenario repro bundle on the first violation;
+  /// empty disables bundle writing.
+  std::string repro_path;
+};
 
 struct RunConfig {
   datacenter::DatacenterConfig datacenter;
@@ -39,6 +51,8 @@ struct RunConfig {
   /// runner attaches it to the recorder, emits the run-begin event, and
   /// publishes the run counters into its registry at the end.
   obs::Observability* obs = nullptr;
+
+  RunValidation validate;
 };
 
 struct RunResult {
@@ -55,6 +69,12 @@ struct RunResult {
   /// (plan, workload, config) — the determinism contract.
   std::vector<std::string> fault_trace;
   std::uint64_t faults_injected = 0;
+
+  /// Invariant-checker results (empty / zero when validation was off).
+  std::vector<validate::Violation> violations;
+  std::uint64_t invariant_checks = 0;
+  /// Path of the repro bundle written on the first violation, if any.
+  std::string repro_path;
 };
 
 /// Runs `jobs` under the configuration and returns the aggregated report.

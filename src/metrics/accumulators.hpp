@@ -17,6 +17,10 @@ namespace easched::obs {
 struct Observability;
 }
 
+namespace easched::validate {
+class InvariantChecker;
+}
+
 namespace easched::metrics {
 
 /// Exact integral of a piecewise-constant signal.
@@ -152,6 +156,12 @@ struct Recorder {
   /// every instrumented layer, so it carries the pointer — access it via
   /// the compile-gated helpers in obs/obs.hpp, never directly.
   obs::Observability* obs = nullptr;
+
+  /// Optional run-time invariant checker (see validate/); not owned. Rides
+  /// on the recorder for the same reason as `obs`: every instrumented
+  /// layer already receives the recorder. Access via the compile-gated
+  /// helper in validate/validate.hpp, never directly.
+  validate::InvariantChecker* validator = nullptr;
 
   /// Total energy in kWh up to time t.
   [[nodiscard]] double energy_kwh(sim::SimTime t) const {

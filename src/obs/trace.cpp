@@ -33,6 +33,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kUnquarantine:    return "unquarantine";
     case EventKind::kSlaAlarm:        return "sla-alarm";
     case EventKind::kRetry:           return "retry";
+    case EventKind::kInvariantViolation:
+      return "invariant-violation";
   }
   return "?";
 }
@@ -59,6 +61,8 @@ const char* category(EventKind kind) noexcept {
     case EventKind::kFaultInjected:
     case EventKind::kOpFailed:
       return "faults";
+    case EventKind::kInvariantViolation:
+      return "validate";
     default:
       return "host";
   }

@@ -60,6 +60,7 @@ enum class EventKind : std::uint8_t {
   kUnquarantine,     ///< host
   kSlaAlarm,         ///< vm
   kRetry,            ///< vm; args: attempt, delay_s
+  kInvariantViolation,  ///< label = "<rule>: message"; args: rule (index)
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "support/contracts.hpp"
+#include "validate/validate.hpp"
 #include "workload/satisfaction.hpp"
 
 namespace easched::sched {
@@ -277,6 +278,11 @@ void SchedulerDriver::round() {
         .arg("eligible", static_cast<double>(view->size()))
         .arg("actions", static_cast<double>(applied));
     if (prof != nullptr) e.arg("wall_round_ms", round_scope.elapsed_ms());
+  }
+  // End-of-round sync point: every actuator decision of this round has
+  // been applied, so the world must be coherent. Full invariant sweep.
+  if (auto* ck = validate::checker(dc_.recorder())) {
+    ck->check_datacenter(dc_);
   }
   in_round_ = false;
 }

@@ -18,7 +18,21 @@
 #include "sim/time.hpp"
 #include "support/contracts.hpp"
 
+#ifndef EASCHED_VALIDATE_ENABLED
+#define EASCHED_VALIDATE_ENABLED 1
+#endif
+
 namespace easched::sim {
+
+/// Hook interface for run-time validation (see validate/). The simulator
+/// notifies the attached observer on every dispatched event; with
+/// EASCHED_VALIDATE=OFF the call site in step() is compiled out entirely,
+/// with it ON but no observer attached the cost is one pointer test.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_event_dispatched(SimTime t) = 0;
+};
 
 class Simulator {
  public:
@@ -77,6 +91,10 @@ class Simulator {
   /// Live events still pending.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Attaches (or detaches, with nullptr) the validation observer. Not
+  /// owned; the caller keeps it alive for the duration of the run.
+  void set_observer(SimObserver* observer) noexcept { observer_ = observer; }
+
  private:
   /// A registered periodic task. Held by shared_ptr so the task body stays
   /// alive while it runs even if the body cancels its own registration.
@@ -90,6 +108,7 @@ class Simulator {
   void fire_periodic(std::uint64_t key);
 
   EventQueue queue_;
+  SimObserver* observer_ = nullptr;
   SimTime now_ = 0;
   bool stopping_ = false;
   std::uint64_t dispatched_ = 0;

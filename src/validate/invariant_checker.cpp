@@ -1,0 +1,283 @@
+#include "validate/invariant_checker.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/score_matrix.hpp"
+#include "datacenter/datacenter.hpp"
+#include "datacenter/vm.hpp"
+
+namespace easched::validate {
+namespace {
+
+using datacenter::Datacenter;
+using datacenter::Host;
+using datacenter::HostId;
+using datacenter::HostState;
+using datacenter::kNoHost;
+using datacenter::Vm;
+using datacenter::VmId;
+using datacenter::VmState;
+
+/// printf-style message builder; violations are rare, so the allocation
+/// here is off every hot path.
+std::string msg(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return std::string{buf};
+}
+
+/// Absolute slack for comparing recorded watts against the power model:
+/// both sides run the same arithmetic, so anything beyond rounding noise
+/// is a real divergence.
+constexpr double kWattsTol = 1e-6;
+/// Relative slack for integral aggregation (sums of many products).
+constexpr double kIntegralRelTol = 1e-6;
+
+}  // namespace
+
+const char* to_string(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kVmConservation:
+      return "vm-conservation";
+    case Rule::kCapacity:
+      return "capacity";
+    case Rule::kPowerLegality:
+      return "power-legality";
+    case Rule::kScoreCache:
+      return "score-cache";
+    case Rule::kEventMonotonicity:
+      return "event-monotonicity";
+    case Rule::kEnergyConsistency:
+      return "energy-consistency";
+  }
+  return "?";
+}
+
+InvariantChecker::InvariantChecker(CheckerConfig config) : config_(config) {}
+
+void InvariantChecker::clear() {
+  violations_.clear();
+  for (auto& c : rule_counts_) c = 0;
+  checks_ = 0;
+  last_event_t_ = 0;
+}
+
+bool InvariantChecker::transition_legal(HostState from,
+                                        HostState to) noexcept {
+  switch (from) {
+    case HostState::kOff:
+      return to == HostState::kBooting;
+    case HostState::kBooting:  // boot completes, or the boot itself fails
+      return to == HostState::kOn || to == HostState::kOff;
+    case HostState::kOn:  // orderly shutdown, or a crash
+      return to == HostState::kShuttingDown || to == HostState::kFailed;
+    case HostState::kShuttingDown:  // done, or the shutdown failed
+      return to == HostState::kOff || to == HostState::kOn;
+    case HostState::kFailed:  // repair returns the node to standby
+      return to == HostState::kOff;
+  }
+  return false;
+}
+
+void InvariantChecker::on_host_transition(sim::SimTime t, HostId h,
+                                          HostState from, HostState to) {
+  ++checks_;
+  if (!transition_legal(from, to)) {
+    report(Rule::kPowerLegality, t,
+           msg("host %u: illegal power transition %s -> %s", h,
+               datacenter::to_string(from), datacenter::to_string(to)));
+  }
+}
+
+void InvariantChecker::on_event_dispatched(sim::SimTime t) {
+  ++checks_;
+  if (t < last_event_t_) {
+    report(Rule::kEventMonotonicity, t,
+           msg("event dispatched at t=%.6f after t=%.6f", t, last_event_t_));
+    return;  // keep the high-water mark so one glitch reports once
+  }
+  last_event_t_ = t;
+}
+
+void InvariantChecker::check_datacenter(const Datacenter& dc) {
+  ++checks_;
+  const sim::SimTime t = dc.simulator().now();
+  check_conservation(dc, t);
+  check_capacity(dc, t);
+  check_energy(dc, t);
+}
+
+void InvariantChecker::check_conservation(const Datacenter& dc,
+                                          sim::SimTime t) {
+  // Pass 1: walk resident lists, counting appearances of every VM and
+  // checking host-side coherence.
+  std::vector<int> seen(dc.num_vms(), 0);
+  for (HostId h = 0; h < dc.num_hosts(); ++h) {
+    const Host& host = dc.host(h);
+    if (!host.residents.empty() && host.state != HostState::kOn) {
+      report(Rule::kVmConservation, t,
+             msg("host %u holds %zu residents while %s", h,
+                 host.residents.size(), datacenter::to_string(host.state)));
+    }
+    for (VmId v : host.residents) {
+      ++seen[v];
+      const Vm& m = dc.vm(v);
+      if (m.host != h) {
+        report(Rule::kVmConservation, t,
+               msg("vm %u resident on host %u but points at host %d", v, h,
+                   m.host == kNoHost ? -1 : static_cast<int>(m.host)));
+      }
+      if (m.state != VmState::kCreating && m.state != VmState::kRunning &&
+          m.state != VmState::kMigrating) {
+        report(Rule::kVmConservation, t,
+               msg("vm %u resident on host %u in state %s", v, h,
+                   datacenter::to_string(m.state)));
+      }
+    }
+  }
+
+  // Pass 2: every VM's back-pointers against the counts. A placed VM
+  // lives exactly once; a queued/finished VM lives nowhere.
+  for (VmId v = 0; v < dc.num_vms(); ++v) {
+    const Vm& m = dc.vm(v);
+    const bool placed = m.state == VmState::kCreating ||
+                        m.state == VmState::kRunning ||
+                        m.state == VmState::kMigrating;
+    if (placed) {
+      if (m.host == kNoHost) {
+        report(Rule::kVmConservation, t,
+               msg("vm %u is %s with no host", v,
+                   datacenter::to_string(m.state)));
+      } else if (seen[v] != 1) {
+        report(Rule::kVmConservation, t,
+               msg("vm %u appears %d times across resident lists "
+                   "(state %s, host %u)",
+                   v, seen[v], datacenter::to_string(m.state), m.host));
+      }
+    } else {
+      if (m.host != kNoHost) {
+        report(Rule::kVmConservation, t,
+               msg("vm %u is %s but still points at host %u", v,
+                   datacenter::to_string(m.state), m.host));
+      }
+      if (seen[v] != 0) {
+        report(Rule::kVmConservation, t,
+               msg("vm %u is %s but appears in %d resident lists", v,
+                   datacenter::to_string(m.state), seen[v]));
+      }
+    }
+    if (m.state == VmState::kMigrating && m.migration_source == kNoHost) {
+      report(Rule::kVmConservation, t,
+             msg("vm %u is Migrating with no source host", v));
+    }
+    if (m.state != VmState::kMigrating && m.migration_source != kNoHost) {
+      report(Rule::kVmConservation, t,
+             msg("vm %u keeps migration source %u in state %s", v,
+                 m.migration_source, datacenter::to_string(m.state)));
+    }
+  }
+}
+
+void InvariantChecker::check_capacity(const Datacenter& dc, sim::SimTime t) {
+  for (HostId h = 0; h < dc.num_hosts(); ++h) {
+    const Host& host = dc.host(h);
+    const double mem = dc.reserved_mem_mb(h);
+    // Memory is a hard limit under any policy: reservations include
+    // residents and the pinned memory of outgoing migrations.
+    if (mem > host.spec.mem_mb * (1 + 1e-9) + 1e-9) {
+      report(Rule::kCapacity, t,
+             msg("host %u memory oversubscribed: %.1f MB reserved of "
+                 "%.1f MB",
+                 h, mem, host.spec.mem_mb));
+    }
+    if (!config_.allow_cpu_oversubscription) {
+      const double cpu = dc.reserved_cpu_pct(h);
+      if (cpu > host.spec.cpu_capacity_pct * (1 + 1e-9) + 1e-9) {
+        report(Rule::kCapacity, t,
+               msg("host %u CPU oversubscribed: %.1f%% reserved of %.1f%%",
+                   h, cpu, host.spec.cpu_capacity_pct));
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_energy(const Datacenter& dc, sim::SimTime t) {
+  const metrics::Recorder& rec = dc.recorder();
+  double host_sum_w = 0;
+  double host_sum_integral = 0;
+  for (HostId h = 0; h < dc.num_hosts(); ++h) {
+    const Host& host = dc.host(h);
+    double expected = 0;
+    switch (host.state) {
+      case HostState::kOn:
+        expected = host.spec.power.watts_on(host.used_cpu_pct,
+                                            host.spec.cpu_capacity_pct);
+        break;
+      case HostState::kBooting:
+      case HostState::kShuttingDown:
+        expected = host.spec.power.watts_boot();
+        break;
+      case HostState::kOff:
+      case HostState::kFailed:
+        expected = host.spec.power.watts_off();
+        break;
+    }
+    const double actual = rec.watts.host_current(h);
+    if (std::abs(actual - expected) > kWattsTol) {
+      report(Rule::kEnergyConsistency, t,
+             msg("host %u (%s) draws %.3f W, power model says %.3f W", h,
+                 datacenter::to_string(host.state), actual, expected));
+    }
+    host_sum_w += actual;
+    host_sum_integral += rec.watts.host_integral(h, t);
+  }
+  const double total_w = rec.watts.total_current();
+  if (std::abs(total_w - host_sum_w) >
+      kIntegralRelTol * std::max(1.0, std::abs(host_sum_w))) {
+    report(Rule::kEnergyConsistency, t,
+           msg("aggregate power %.6f W != sum of hosts %.6f W", total_w,
+               host_sum_w));
+  }
+  const double total_integral = rec.watts.total_integral(t);
+  if (std::abs(total_integral - host_sum_integral) >
+      kIntegralRelTol * std::max(1.0, std::abs(host_sum_integral))) {
+    report(Rule::kEnergyConsistency, t,
+           msg("energy integral %.6f Ws != sum of host integrals %.6f Ws",
+               total_integral, host_sum_integral));
+  }
+}
+
+void InvariantChecker::check_score_model(const core::ScoreModel& model,
+                                         sim::SimTime t) {
+  ++checks_;
+  int r = -1;
+  int c = -1;
+  const int diverged = model.count_cache_divergences(&r, &c);
+  if (diverged > 0) {
+    report(Rule::kScoreCache, t,
+           msg("%d cached score cells diverge from recomputation, "
+               "first at (%d, %d)",
+               diverged, r, c));
+  }
+}
+
+void InvariantChecker::report(Rule rule, sim::SimTime t,
+                              std::string message) {
+  ++rule_counts_[static_cast<int>(rule)];
+  if (violations_.size() >= config_.max_violations) return;
+  violations_.push_back(Violation{rule, t, std::move(message)});
+  if (on_violation) on_violation(violations_.back());
+  if (config_.abort_on_violation) {
+    std::fprintf(stderr, "easched invariant violation [%s] at t=%.3f: %s\n",
+                 to_string(rule), t, violations_.back().message.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace easched::validate

@@ -1,0 +1,160 @@
+#include "validate/repro.hpp"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace easched::validate {
+namespace {
+
+constexpr const char* kHeader = "# easched repro bundle v1";
+constexpr const char* kJobsSeparator = "--- jobs ---";
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out.push_back(sep);
+    out += p;
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+std::vector<datacenter::HostSpec> specs_for(
+    const std::vector<std::string>& classes) {
+  std::vector<datacenter::HostSpec> specs;
+  specs.reserve(classes.size());
+  for (const auto& klass : classes) {
+    if (klass == "fast") {
+      specs.push_back(datacenter::HostSpec::fast());
+    } else if (klass == "slow") {
+      specs.push_back(datacenter::HostSpec::slow());
+    } else if (klass == "low-power") {
+      specs.push_back(datacenter::HostSpec::low_power());
+    } else {
+      specs.push_back(datacenter::HostSpec::medium());
+    }
+  }
+  return specs;
+}
+
+void write_repro_bundle(std::ostream& out, const ReproBundle& bundle) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n';
+  out << "policy=" << bundle.policy << '\n';
+  out << "dc_seed=" << bundle.dc_seed << '\n';
+  out << "hosts=" << join(bundle.host_classes, ',') << '\n';
+  out << "inject_failures=" << (bundle.inject_failures ? 1 : 0) << '\n';
+  out << "checkpoint_enabled=" << (bundle.checkpoint_enabled ? 1 : 0) << '\n';
+  out << "checkpoint_period_s=" << bundle.checkpoint_period_s << '\n';
+  out << "lambda_min=" << bundle.lambda_min << '\n';
+  out << "lambda_max=" << bundle.lambda_max << '\n';
+  out << "horizon_s=" << bundle.horizon_s << '\n';
+  if (!bundle.fault_spec.empty()) out << "faults=" << bundle.fault_spec << '\n';
+  if (!bundle.violation.empty()) out << "violation=" << bundle.violation << '\n';
+  out << "violation_t=" << bundle.violation_t << '\n';
+  out << kJobsSeparator << '\n';
+  for (const auto& job : bundle.jobs) {
+    out << job.id << ' ' << job.submit << ' ' << job.dedicated_seconds << ' '
+        << job.cpu_pct << ' ' << job.mem_mb << ' ' << job.deadline_factor
+        << ' ' << static_cast<int>(job.arch) << ' ' << job.software << ' '
+        << job.fault_tolerance << ' ' << job.weight << '\n';
+  }
+}
+
+void write_repro_bundle_file(const std::string& path,
+                             const ReproBundle& bundle) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write repro bundle: " + path);
+  write_repro_bundle(out, bundle);
+}
+
+ReproBundle read_repro_bundle(std::istream& in) {
+  ReproBundle bundle;
+  bundle.policy.clear();
+  std::string line;
+  bool in_jobs = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (line == kJobsSeparator) {
+      in_jobs = true;
+      continue;
+    }
+    if (in_jobs) {
+      std::istringstream fields(line);
+      workload::Job job;
+      int arch = 0;
+      if (!(fields >> job.id >> job.submit >> job.dedicated_seconds >>
+            job.cpu_pct >> job.mem_mb >> job.deadline_factor >> arch >>
+            job.software >> job.fault_tolerance >> job.weight)) {
+        throw std::runtime_error("malformed repro bundle job line: " + line);
+      }
+      job.arch = static_cast<workload::Arch>(arch);
+      bundle.jobs.push_back(job);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("malformed repro bundle line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "policy") {
+      bundle.policy = value;
+    } else if (key == "dc_seed") {
+      bundle.dc_seed = std::stoull(value);
+    } else if (key == "hosts") {
+      bundle.host_classes = split(value, ',');
+    } else if (key == "inject_failures") {
+      bundle.inject_failures = value != "0";
+    } else if (key == "checkpoint_enabled") {
+      bundle.checkpoint_enabled = value != "0";
+    } else if (key == "checkpoint_period_s") {
+      bundle.checkpoint_period_s = std::stod(value);
+    } else if (key == "lambda_min") {
+      bundle.lambda_min = std::stod(value);
+    } else if (key == "lambda_max") {
+      bundle.lambda_max = std::stod(value);
+    } else if (key == "horizon_s") {
+      bundle.horizon_s = std::stod(value);
+    } else if (key == "faults") {
+      bundle.fault_spec = value;
+    } else if (key == "violation") {
+      bundle.violation = value;
+    } else if (key == "violation_t") {
+      bundle.violation_t = std::stod(value);
+    }
+    // Unknown keys are skipped so newer writers stay readable.
+  }
+  if (bundle.policy.empty()) {
+    throw std::runtime_error("repro bundle missing policy=");
+  }
+  return bundle;
+}
+
+ReproBundle read_repro_bundle_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read repro bundle: " + path);
+  return read_repro_bundle(in);
+}
+
+}  // namespace easched::validate

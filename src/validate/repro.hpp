@@ -1,0 +1,72 @@
+// Scenario repro bundles: everything needed to replay a failing run.
+//
+// When the InvariantChecker trips mid-run, knowing *that* an invariant
+// broke is worth little without a way to replay the scenario: the runner
+// therefore captures the run's deterministic inputs — policy, datacenter
+// seed and host classes, fault plan, power-range lambdas, and the workload
+// slice submitted up to the violation — into a single self-describing text
+// file. `scripts/shrink_repro.sh` feeds such a bundle to the shrinker
+// (validate/shrink.hpp), which delta-minimises the job list while the
+// violation still reproduces.
+//
+// Format (line-oriented, lossless):
+//   # easched repro bundle v1
+//   policy=SB
+//   dc_seed=5
+//   hosts=fast,fast,medium,slow
+//   ...key=value headers...
+//   --- jobs ---
+//   <id> <submit> <dedicated_s> <cpu_pct> <mem_mb> <deadline_factor>
+//        <arch> <software> <fault_tolerance> <weight>
+//
+// Jobs are serialised field-by-field with full precision rather than as
+// SWF: the SWF reader re-shifts submit times, re-draws deadline factors
+// and drops short jobs — all lossy for replay purposes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "datacenter/host_spec.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace easched::validate {
+
+struct ReproBundle {
+  std::string policy = "SB";
+  std::uint64_t dc_seed = 1;
+  /// One class token per host (HostSpec::klass); rebuilt via specs_for().
+  std::vector<std::string> host_classes;
+  bool inject_failures = false;
+  bool checkpoint_enabled = false;
+  double checkpoint_period_s = 1800;
+  double lambda_min = 0.30;
+  double lambda_max = 0.90;
+  sim::SimTime horizon_s = 0;
+  /// Inline fault-plan spec (FaultPlan::to_string() with commas); empty
+  /// disables injection. parse_fault_plan() accepts it verbatim.
+  std::string fault_spec;
+  /// "<rule>: message" of the first violation, plus when it fired.
+  std::string violation;
+  sim::SimTime violation_t = 0;
+  workload::Workload jobs;
+};
+
+/// Maps class tokens back to host specs ("fast", "medium", "slow",
+/// "low-power"; unknown tokens fall back to medium).
+std::vector<datacenter::HostSpec> specs_for(
+    const std::vector<std::string>& classes);
+
+void write_repro_bundle(std::ostream& out, const ReproBundle& bundle);
+/// Throws std::runtime_error when the file cannot be written.
+void write_repro_bundle_file(const std::string& path,
+                             const ReproBundle& bundle);
+
+/// Throws std::runtime_error on malformed input.
+ReproBundle read_repro_bundle(std::istream& in);
+ReproBundle read_repro_bundle_file(const std::string& path);
+
+}  // namespace easched::validate

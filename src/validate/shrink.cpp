@@ -1,0 +1,61 @@
+#include "validate/shrink.hpp"
+
+#include <algorithm>
+
+namespace easched::validate {
+namespace {
+
+/// The job list with chunk `drop` (of `n` even chunks) removed.
+workload::Workload without_chunk(const workload::Workload& jobs,
+                                 std::size_t n, std::size_t drop) {
+  workload::Workload kept;
+  kept.reserve(jobs.size());
+  const std::size_t lo = drop * jobs.size() / n;
+  const std::size_t hi = (drop + 1) * jobs.size() / n;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i < lo || i >= hi) kept.push_back(jobs[i]);
+  }
+  return kept;
+}
+
+}  // namespace
+
+ShrinkResult shrink_workload(
+    workload::Workload failing,
+    const std::function<bool(const workload::Workload&)>& still_fails,
+    ShrinkOptions options) {
+  ShrinkResult result;
+  result.tests_run = 1;
+  result.reproduced = still_fails(failing);
+  if (!result.reproduced) {
+    result.jobs = std::move(failing);
+    return result;
+  }
+
+  std::size_t n = 2;
+  while (failing.size() >= 2 && result.tests_run < options.max_tests) {
+    n = std::min(n, failing.size());
+    bool reduced = false;
+    for (std::size_t drop = 0;
+         drop < n && result.tests_run < options.max_tests; ++drop) {
+      workload::Workload candidate = without_chunk(failing, n, drop);
+      if (candidate.size() == failing.size()) continue;  // empty chunk
+      ++result.tests_run;
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        n = std::max<std::size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= failing.size()) break;  // 1-minimal at single-job granularity
+      n = std::min(n * 2, failing.size());
+    }
+  }
+
+  result.jobs = std::move(failing);
+  return result;
+}
+
+}  // namespace easched::validate

@@ -1,0 +1,45 @@
+// Delta-debugging shrinker for failing scenarios.
+//
+// A chaos or fuzz run that trips an invariant typically does so with
+// hundreds of jobs in flight, almost all of them irrelevant. The shrinker
+// applies the classic ddmin algorithm (Zeller & Hildebrandt, "Simplifying
+// and Isolating Failure-Inducing Input"): partition the job list into n
+// chunks, try dropping one chunk at a time (i.e. keep each complement),
+// and whenever the reduced list still fails, restart from it with n-1
+// chunks; when no complement fails, double the granularity. The result is
+// 1-minimal with respect to the chunking — removing any single remaining
+// chunk makes the failure disappear.
+//
+// The predicate is a caller-supplied closure (typically: rebuild the run
+// from a repro bundle with this job list, return whether the invariant
+// still trips), so the shrinker itself stays independent of the runner.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "workload/job.hpp"
+
+namespace easched::validate {
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations; each one replays a run, so this
+  /// bounds total shrink time. The result is whatever the search reached.
+  std::size_t max_tests = 10000;
+};
+
+struct ShrinkResult {
+  workload::Workload jobs;       ///< the minimised failing job list
+  std::size_t tests_run = 0;     ///< predicate evaluations consumed
+  bool reproduced = false;       ///< the input failed at all
+};
+
+/// Minimises `failing` while `still_fails` keeps returning true. The
+/// predicate is first run on the input itself; when that does not fail the
+/// input is returned unchanged with `reproduced = false`.
+ShrinkResult shrink_workload(
+    workload::Workload failing,
+    const std::function<bool(const workload::Workload&)>& still_fails,
+    ShrinkOptions options = {});
+
+}  // namespace easched::validate

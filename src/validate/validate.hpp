@@ -1,0 +1,46 @@
+// Compile-gated access path to the run's invariant checker.
+//
+// Mirrors obs/obs.hpp: the checker travels with the run's
+// `metrics::Recorder` as a nullable pointer (`Recorder::validator`), so
+// every layer that already receives the recorder (Datacenter,
+// SchedulerDriver, ScoreBasedPolicy via the datacenter) can reach it
+// without new plumbing. Instrumented call sites never touch the pointer
+// directly; they go through the accessor below:
+//
+//   if (auto* ck = validate::checker(recorder)) {
+//     ck->check_datacenter(dc);
+//   }
+//
+// With EASCHED_VALIDATE=OFF the accessor is constexpr nullptr, the branch
+// folds away, and the whole call site is dead code — the compile-time half
+// of the zero-cost guarantee. With validation compiled in but no checker
+// attached, each call site is one pointer load and test.
+#pragma once
+
+#include "metrics/accumulators.hpp"
+#include "validate/invariant_checker.hpp"
+
+#ifndef EASCHED_VALIDATE_ENABLED
+#define EASCHED_VALIDATE_ENABLED 1
+#endif
+
+namespace easched::validate {
+
+#if EASCHED_VALIDATE_ENABLED
+
+/// The run's invariant checker, or nullptr when none is attached.
+[[nodiscard]] inline InvariantChecker* checker(
+    const metrics::Recorder& rec) noexcept {
+  return rec.validator;
+}
+
+#else  // validation compiled out: accessor folds to constant nullptr
+
+[[nodiscard]] constexpr InvariantChecker* checker(
+    const metrics::Recorder&) noexcept {
+  return nullptr;
+}
+
+#endif  // EASCHED_VALIDATE_ENABLED
+
+}  // namespace easched::validate

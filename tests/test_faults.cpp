@@ -21,6 +21,9 @@ namespace {
 
 using datacenter::HostState;
 using datacenter::VmState;
+using easched::testing::chaos_experiment_plan;
+using easched::testing::chaos_workload;
+using easched::testing::InjectedDc;
 using easched::testing::make_job;
 
 // ---- plan parsing -----------------------------------------------------------
@@ -213,22 +216,6 @@ TEST(FaultInjector, InertPlanInjectsNothing) {
 
 // ---- datacenter recovery semantics ------------------------------------------
 
-/// SmallDc wired to a FaultInjector (and an optional quarantine override);
-/// medium hosts: creation 40 s, migration 60 s, boot 300 s, deterministic.
-struct InjectedDc {
-  FaultInjector injector;
-  easched::testing::SmallDc f;
-
-  explicit InjectedDc(const FaultPlan& plan, std::size_t hosts = 2,
-                      datacenter::QuarantinePolicy quarantine = {})
-      : injector(plan), f(hosts, [&] {
-          datacenter::DatacenterConfig config;
-          config.fault_injector = &injector;
-          config.quarantine = quarantine;
-          return config;
-        }()) {}
-};
-
 TEST(FaultedDatacenter, FailedCreationRequeuesTheVm) {
   FaultPlan plan;
   plan.enabled = true;
@@ -359,24 +346,6 @@ TEST(FaultedDatacenter, QuarantineAfterBudgetThenCooldownRelease) {
 }
 
 // ---- end-to-end: fault-heavy experiments ------------------------------------
-
-workload::Workload chaos_workload() {
-  workload::SyntheticConfig wl;
-  wl.seed = 7;
-  wl.span_seconds = 6 * sim::kHour;
-  wl.mean_jobs_per_hour = 8;
-  wl.median_runtime_s = 1200;
-  wl.max_runtime_s = 2 * sim::kHour;
-  return workload::generate(wl);
-}
-
-FaultPlan chaos_experiment_plan() {
-  const FaultPlan plan = parse_fault_plan(
-      "seed=42,create.fail=0.2,create.hang=0.05,migrate.fail=0.1,"
-      "power_on.fail=0.1,lemon=1:4,retry_base=5,retry_cap=120,"
-      "quarantine_window=1800,quarantine_cooldown=900");
-  return plan;
-}
 
 experiments::RunResult run_chaos(int solver_threads) {
   experiments::RunConfig config;

@@ -16,24 +16,8 @@
 namespace easched::datacenter {
 namespace {
 
+using easched::testing::make_chaos_plan;
 using easched::testing::make_job;
-
-/// An aggressive operation-fault mix for the chaos variants: every actuator
-/// operation can fail, hang or run slow, and host 2 is a lemon.
-faults::FaultPlan make_chaos_plan(std::uint64_t seed) {
-  faults::FaultPlan plan;
-  plan.enabled = true;
-  plan.seed = seed * 31 + 5;
-  plan.spec(faults::FaultOp::kCreate) = {0.10, 0.05, 0.10, 2.5};
-  plan.spec(faults::FaultOp::kMigrate) = {0.12, 0.06, 0.10, 2.5};
-  plan.spec(faults::FaultOp::kPowerOn) = {0.08, 0.04, 0.05, 2.0};
-  plan.spec(faults::FaultOp::kPowerOff) = {0.08, 0.04, 0.0, 1.0};
-  plan.spec(faults::FaultOp::kCheckpoint) = {0.15, 0.05, 0.0, 1.0};
-  plan.lemons.push_back({2, 5.0});
-  plan.quarantine_window_s = 1200;
-  plan.quarantine_cooldown_s = 600;
-  return plan;
-}
 
 class Fuzzer {
  public:

@@ -13,28 +13,15 @@
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
 #include "sched/driver.hpp"
+#include "test_fixtures.hpp"
 #include "workload/swf.hpp"
 #include "workload/synthetic.hpp"
 
 namespace easched::experiments {
 namespace {
 
-workload::Workload small_week(std::uint64_t seed = 77) {
-  workload::SyntheticConfig c;
-  c.seed = seed;
-  c.span_seconds = 1.5 * sim::kDay;
-  c.mean_jobs_per_hour = 10;
-  return workload::generate(c);
-}
-
-RunConfig small_config(const std::string& policy) {
-  RunConfig config;
-  config.datacenter.hosts = evaluation_hosts(4, 10, 6);
-  config.datacenter.seed = 5;
-  config.policy = policy;
-  config.horizon_s = 90 * sim::kDay;  // generous safety net
-  return config;
-}
+using easched::testing::small_config;
+using easched::testing::small_week;
 
 TEST(Integration, EveryPolicyCompletesTheWorkload) {
   const auto jobs = small_week();

@@ -55,9 +55,11 @@ class ScoreCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
 // datacenters, each driven through a random move sequence with a full
 // cache-vs-fresh sweep after every apply.
 TEST_P(ScoreCacheProperty, CachedCellsEqualFreshRecomputation) {
-  support::Rng rng{GetParam()};
+  const std::uint64_t seed = GetParam();
+  support::Rng rng{seed};
   for (int instance = 0; instance < 100; ++instance) {
-    RandomInstance inst = make_random_instance(rng);
+    RandomInstance inst = make_random_instance(rng, seed, instance);
+    SCOPED_TRACE(inst.describe());
     ScoreModel model(inst.fixture->dc, inst.queue, inst.params,
                      inst.migration);
     if (model.cols() == 0) continue;
@@ -78,9 +80,11 @@ TEST_P(ScoreCacheProperty, CachedCellsEqualFreshRecomputation) {
 // different orders (one primed, one lazily and sparsely read) agree
 // bitwise on every cell.
 TEST_P(ScoreCacheProperty, ReadOrderDoesNotAffectValues) {
-  support::Rng rng{GetParam() * 1000003 + 17};
+  const std::uint64_t seed = GetParam() * 1000003 + 17;
+  support::Rng rng{seed};
   for (int instance = 0; instance < 40; ++instance) {
-    RandomInstance inst = make_random_instance(rng);
+    RandomInstance inst = make_random_instance(rng, seed, instance);
+    SCOPED_TRACE(inst.describe());
     ScoreModel primed(inst.fixture->dc, inst.queue, inst.params,
                       inst.migration);
     ScoreModel lazy(inst.fixture->dc, inst.queue, inst.params,
@@ -113,10 +117,12 @@ TEST_P(ScoreCacheProperty, ReadOrderDoesNotAffectValues) {
 // static-term construction and prime() sweep are partitioned by rows, and
 // every partition computes the same arithmetic.
 TEST_P(ScoreCacheProperty, PooledBuildMatchesSerialBuild) {
-  support::Rng rng{GetParam() * 7919 + 3};
+  const std::uint64_t seed = GetParam() * 7919 + 3;
+  support::Rng rng{seed};
   SolverPool pool(4);
   for (int instance = 0; instance < 25; ++instance) {
-    RandomInstance inst = make_random_instance(rng);
+    RandomInstance inst = make_random_instance(rng, seed, instance);
+    SCOPED_TRACE(inst.describe());
     ScoreModel serial(inst.fixture->dc, inst.queue, inst.params,
                       inst.migration);
     ScoreModel pooled(inst.fixture->dc, inst.queue, inst.params,
@@ -136,7 +142,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ScoreCacheProperty,
 // row_aggregate reads through the same cache; spot-check it tracks moves.
 TEST(ScoreCache, RowAggregateTracksMoves) {
   support::Rng rng{42};
-  RandomInstance inst = make_random_instance(rng);
+  RandomInstance inst = make_random_instance(rng, 42, 0);
+  SCOPED_TRACE(inst.describe());
   ScoreModel model(inst.fixture->dc, inst.queue, inst.params,
                    inst.migration);
   ASSERT_GT(model.cols(), 0);

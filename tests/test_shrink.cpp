@@ -1,0 +1,124 @@
+// Tests for the ddmin scenario shrinker (validate/shrink.hpp): convergence
+// to the minimal failure-inducing job set on seeded 500-job scenarios,
+// 1-minimality on monotone and interacting predicates, and the budget /
+// non-reproducing edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_fixtures.hpp"
+#include "validate/shrink.hpp"
+#include "workload/synthetic.hpp"
+
+namespace easched::validate {
+namespace {
+
+using easched::testing::make_job;
+
+/// A `size`-job filler workload with distinctive mem_mb tags planted at the
+/// given indices; the predicates below key on the tags, standing in for
+/// "this combination of jobs trips the invariant".
+workload::Workload tagged_workload(std::size_t size,
+                                   const std::vector<std::size_t>& culprits) {
+  workload::Workload jobs;
+  for (std::size_t i = 0; i < size; ++i) {
+    jobs.push_back(make_job(100, 512, 1000 + static_cast<double>(i), 1.5,
+                            static_cast<double>(i) * 10));
+    jobs.back().id = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t k = 0; k < culprits.size(); ++k) {
+    jobs[culprits[k]].mem_mb = 7777 + static_cast<double>(k);
+  }
+  return jobs;
+}
+
+/// True when every planted tag [7777, 7777 + count) is still present.
+bool has_all_tags(const workload::Workload& jobs, int count) {
+  for (int k = 0; k < count; ++k) {
+    const double tag = 7777 + k;
+    const bool present =
+        std::any_of(jobs.begin(), jobs.end(),
+                    [tag](const workload::Job& j) { return j.mem_mb == tag; });
+    if (!present) return false;
+  }
+  return true;
+}
+
+// The acceptance-criteria scenario: 500 jobs, 3 scattered culprits, and
+// the shrinker must land at (well under) 20 jobs. For an independent-culprit
+// predicate ddmin is 1-minimal, so it finds exactly the 3.
+TEST(Shrink, FiveHundredJobsShrinkToTheCulprits) {
+  const auto jobs = tagged_workload(500, {17, 250, 483});
+  const auto result = shrink_workload(
+      jobs, [](const workload::Workload& w) { return has_all_tags(w, 3); });
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_LE(result.jobs.size(), 20u);
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_TRUE(has_all_tags(result.jobs, 3));
+  // ddmin replays runs, so the budget matters: well under the default cap.
+  EXPECT_LT(result.tests_run, 500u);
+}
+
+TEST(Shrink, SingleCulpritShrinksToOneJob) {
+  const auto jobs = tagged_workload(256, {200});
+  const auto result = shrink_workload(
+      jobs, [](const workload::Workload& w) { return has_all_tags(w, 1); });
+  EXPECT_TRUE(result.reproduced);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].mem_mb, 7777.0);
+}
+
+TEST(Shrink, PairInteractionIsPreserved) {
+  // The failure needs both tags at once — neither alone reproduces.
+  const auto jobs = tagged_workload(300, {3, 296});
+  const auto result = shrink_workload(
+      jobs, [](const workload::Workload& w) { return has_all_tags(w, 2); });
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(result.jobs.size(), 2u);
+  EXPECT_TRUE(has_all_tags(result.jobs, 2));
+}
+
+TEST(Shrink, MonotoneSizePredicateReachesTheThreshold) {
+  // Fails iff >= 10 jobs survive: 1-minimality means exactly 10 remain.
+  const auto jobs = tagged_workload(100, {});
+  const auto result = shrink_workload(
+      jobs, [](const workload::Workload& w) { return w.size() >= 10; });
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(result.jobs.size(), 10u);
+}
+
+TEST(Shrink, NonReproducingInputIsReturnedUnchanged) {
+  const auto jobs = tagged_workload(50, {});
+  const auto result =
+      shrink_workload(jobs, [](const workload::Workload&) { return false; });
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.tests_run, 1u);
+  EXPECT_EQ(result.jobs.size(), jobs.size());
+}
+
+TEST(Shrink, BudgetCapsPredicateEvaluations) {
+  const auto jobs = tagged_workload(400, {40, 360});
+  ShrinkOptions options;
+  options.max_tests = 10;
+  const auto result = shrink_workload(
+      jobs, [](const workload::Workload& w) { return has_all_tags(w, 2); },
+      options);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_LE(result.tests_run, 10u);
+  // Whatever was reached still fails — the shrinker never returns a
+  // non-failing reduction.
+  EXPECT_TRUE(has_all_tags(result.jobs, 2));
+}
+
+TEST(Shrink, EmptyAndSingletonInputsAreHandled) {
+  const auto always = [](const workload::Workload&) { return true; };
+  const auto one = shrink_workload(tagged_workload(1, {}), always);
+  EXPECT_TRUE(one.reproduced);
+  EXPECT_EQ(one.jobs.size(), 1u);
+  const auto none = shrink_workload({}, always);
+  EXPECT_TRUE(none.reproduced);
+  EXPECT_TRUE(none.jobs.empty());
+}
+
+}  // namespace
+}  // namespace easched::validate

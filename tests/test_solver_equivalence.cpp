@@ -53,11 +53,13 @@ class SolverEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 // The tentpole guarantee: incremental (serial) and threaded (2 and 4
 // workers) hill climbing replay the reference solver's move trace exactly.
 TEST_P(SolverEquivalence, IncrementalAndThreadedMatchReference) {
-  support::Rng rng{GetParam()};
+  const std::uint64_t seed = GetParam();
+  support::Rng rng{seed};
   SolverPool pool2(2);
   SolverPool pool4(4);
   for (int instance = 0; instance < 25; ++instance) {
-    RandomInstance inst = make_random_instance(rng);
+    RandomInstance inst = make_random_instance(rng, seed, instance);
+    SCOPED_TRACE(inst.describe());
     HillClimbLimits limits;
     // Exercise the budget and threshold paths too, not just defaults.
     if (rng.uniform01() < 0.3) {
@@ -95,9 +97,11 @@ TEST_P(SolverEquivalence, IncrementalAndThreadedMatchReference) {
 // Re-running the threaded solver over the same pool must be stable: the
 // pool carries no state between sweeps.
 TEST_P(SolverEquivalence, PoolReuseIsStable) {
-  support::Rng rng{GetParam() * 31 + 7};
+  const std::uint64_t seed = GetParam() * 31 + 7;
+  support::Rng rng{seed};
   SolverPool pool(3);
-  RandomInstance inst = make_random_instance(rng);
+  RandomInstance inst = make_random_instance(rng, seed, 0);
+  SCOPED_TRACE(inst.describe());
   HillClimbLimits limits;
   limits.pool = &pool;
 
@@ -120,10 +124,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SolverEquivalence,
 class SolverOptimality : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SolverOptimality, HillClimbReachesExhaustiveOptimum) {
-  support::Rng rng{GetParam()};
-  RandomInstance inst = make_random_instance(rng, /*max_hosts=*/4,
+  const std::uint64_t seed = GetParam();
+  support::Rng rng{seed};
+  RandomInstance inst = make_random_instance(rng, seed, 0, /*max_hosts=*/4,
                                              /*max_running=*/3,
                                              /*max_queued=*/2);
+  SCOPED_TRACE(inst.describe());
   ScoreModel m_hc(inst.fixture->dc, inst.queue, inst.params, inst.migration);
   ScoreModel m_ex(inst.fixture->dc, inst.queue, inst.params, inst.migration);
   ASSERT_LE(m_hc.rows(), 5);
@@ -142,7 +148,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SolverOptimality,
 // Degenerate shapes must not trip the incremental bookkeeping.
 TEST(SolverEquivalence, EmptyQueueNoMigrationIsANoOp) {
   support::Rng rng{77};
-  RandomInstance inst = make_random_instance(rng);
+  RandomInstance inst = make_random_instance(rng, 77, 0);
+  SCOPED_TRACE(inst.describe());
   const std::vector<datacenter::VmId> empty;
   ScoreModel model(inst.fixture->dc, empty, inst.params,
                    /*migration_enabled=*/false);
