@@ -14,12 +14,21 @@
 // dump the deterministic fault event trace; --trace=<path> (with
 // --trace-format=, --metrics-out=, --profile) writes the structured
 // observability outputs instead.
+//
+// The resilience control plane (solver watchdog, degradation ladder,
+// admission control, per-host circuit breakers) is armed with --resilience:
+//   failure_drill --resilience=on
+//   failure_drill --resilience="budget=64,max_pending=48,breaker_threshold=2"
+//                 --faults="create.fail=0.2,lemon=3:8"
+// The report then grows a `resilience:` line with breach/ladder/shed/breaker
+// counts (see docs/architecture.md, "Resilience control plane").
 #include <cstdio>
 
 #include "experiments/runner.hpp"
 #include "experiments/setup.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/obs_cli.hpp"
+#include "resilience/resilience.hpp"
 #include "support/cli.hpp"
 #include "workload/synthetic.hpp"
 
@@ -56,6 +65,10 @@ int main(int argc, char** argv) {
   if (args.has("faults")) {
     config.faults = faults::parse_fault_plan(args.get("faults", ""));
   }
+  if (args.has("resilience")) {
+    config.resilience =
+        resilience::parse_resilience_spec(args.get("resilience", "on"));
+  }
   const bool dump_trace = args.get_bool("fault-trace", false);
   const obs::ObsOptions obs_opts = obs::options_from_cli(args);
   args.warn_unrecognized();
@@ -72,6 +85,8 @@ int main(int argc, char** argv) {
               result.jobs_finished, result.jobs_submitted);
   const std::string robustness = result.report.robustness_to_string();
   if (!robustness.empty()) std::printf("%s\n", robustness.c_str());
+  const std::string resil = result.report.resilience_to_string();
+  if (!resil.empty()) std::printf("%s\n", resil.c_str());
   if (dump_trace) {
     for (const auto& line : result.fault_trace) {
       std::printf("%s\n", line.c_str());

@@ -5,12 +5,16 @@
 #   1. default build      — full test suite, then the validate-labelled
 #                           tests again with run-time checking forced on
 #                           for every experiment (EASCHED_VALIDATE=1)
-#   2. AddressSanitizer   — validate + faults suites
-#   3. ThreadSanitizer    — validate + solver suites (threaded solver
-#                           under the checker)
+#   2. AddressSanitizer   — validate + faults + resilience suites
+#   3. ThreadSanitizer    — validate + solver + resilience suites (the
+#                           threaded solver and the ladder's thread-count
+#                           determinism under the checker)
 #   4. EASCHED_VALIDATE=OFF — compile-out check: the hook call sites must
 #                           vanish and the validate suite must still pass
 #                           (the checker itself is always built)
+#   5. EASCHED_RESILIENCE=OFF — same compile-out check for the resilience
+#                           control plane (tests drive the controller
+#                           directly, so its suite must still pass)
 #
 # Usage: scripts/run_validation.sh [fast]
 #   fast — default build only (step 1); CI tier-1 runs this.
@@ -38,19 +42,24 @@ if [ "$fast" = "fast" ]; then
   exit 0
 fi
 
-echo "== address-sanitized build: validate + faults =="
+echo "== address-sanitized build: validate + faults + resilience =="
 build "$repo/build-validate-asan" -DEASCHED_SANITIZE=address
 EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-asan" \
-  -L "validate|faults" --output-on-failure -j"$(nproc)"
+  -L "validate|faults|resilience" --output-on-failure -j"$(nproc)"
 
-echo "== thread-sanitized build: validate + solver =="
+echo "== thread-sanitized build: validate + solver + resilience =="
 build "$repo/build-validate-tsan" -DEASCHED_SANITIZE=thread
 EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-tsan" \
-  -L "validate|solver" --output-on-failure -j"$(nproc)"
+  -L "validate|solver|resilience" --output-on-failure -j"$(nproc)"
 
 echo "== EASCHED_VALIDATE=OFF build: hooks compiled out =="
 build "$repo/build-validate-off" -DEASCHED_VALIDATE=OFF
 EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-off" -L validate \
+  --output-on-failure -j"$(nproc)"
+
+echo "== EASCHED_RESILIENCE=OFF build: control-plane hooks compiled out =="
+build "$repo/build-resilience-off" -DEASCHED_RESILIENCE=OFF
+ctest --test-dir "$repo/build-resilience-off" -L resilience \
   --output-on-failure -j"$(nproc)"
 
 echo "validation matrix OK"

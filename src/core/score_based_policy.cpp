@@ -5,6 +5,7 @@
 
 #include "core/hill_climb.hpp"
 #include "obs/obs.hpp"
+#include "resilience/resilience.hpp"
 #include "support/contracts.hpp"
 #include "validate/validate.hpp"
 
@@ -61,8 +62,23 @@ SolverPool* ScoreBasedPolicy::pool() {
 std::vector<sched::Action> ScoreBasedPolicy::schedule(
     const sched::SchedContext& ctx) {
   const sim::SimTime now = ctx.dc.simulator().now();
+
+  // Degradation ladder (resilience control plane). The two degraded rungs
+  // skip the score model entirely; kCachedClimb keeps the cached model but
+  // suspends consolidation and runs under the tightened step budget the
+  // driver put in ctx.solver_budget.
+  switch (ctx.ladder) {
+    case resilience::LadderLevel::kFrozen:
+      return {};  // freeze placements; the queue keeps building
+    case resilience::LadderLevel::kFirstFit:
+      return first_fit(ctx);
+    case resilience::LadderLevel::kFull:
+    case resilience::LadderLevel::kCachedClimb:
+      break;
+  }
+
   const bool consolidate =
-      config_.migration &&
+      config_.migration && ctx.ladder == resilience::LadderLevel::kFull &&
       now - last_consolidation_ >= config_.migration_period_s;
   if (consolidate) last_consolidation_ = now;
 
@@ -77,19 +93,29 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
   model.set_profiler(prof);
   {
     obs::PhaseProfiler::Scope scope(prof, obs::Phase::kClimb);
-    if (config_.solver == MatrixSolver::kAnnealing) {
+    if (config_.solver == MatrixSolver::kAnnealing &&
+        ctx.solver_budget == 0) {
       // Deterministic per round: derive the walk seed from the clock.
       AnnealingParams params = config_.annealing;
       params.seed ^= static_cast<std::uint64_t>(now * 1000.0);
       anneal(model, params);
       last_stats_ = {};
     } else {
+      // With a watchdog budget the solver is always the hill climber: its
+      // move count is the deterministic step unit the budget is written
+      // in, and the cached-score rung depends on its incremental reuse.
       HillClimbLimits limits;
       limits.max_moves = config_.max_moves;
+      if (ctx.solver_budget > 0) {
+        limits.max_moves = std::min(limits.max_moves, ctx.solver_budget);
+      }
       limits.max_migration_moves = config_.max_migrations_per_round;
       limits.min_migration_gain = config_.min_migration_gain;
       limits.pool = pool();
       last_stats_ = hill_climb(model, limits);
+      if (auto* rc = resilience::controller(ctx.dc.recorder())) {
+        rc->note_solver_effort(now, last_stats_.moves);
+      }
     }
   }
   // The climb warmed whatever cells it touched; before committing the plan
@@ -141,6 +167,42 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
             .arg("total", b.total);
       }
     }
+  }
+  return actions;
+}
+
+std::vector<sched::Action> ScoreBasedPolicy::first_fit(
+    const sched::SchedContext& ctx) const {
+  const sim::SimTime now = ctx.dc.simulator().now();
+  std::vector<sched::Action> actions;
+  // Reservations planned by earlier iterations of this loop; fits() only
+  // sees the live world, so stack them on top.
+  std::vector<double> extra_cpu(ctx.dc.num_hosts(), 0.0);
+  std::vector<double> extra_mem(ctx.dc.num_hosts(), 0.0);
+  for (datacenter::VmId v : ctx.queue) {
+    const auto& job = ctx.dc.vm(v).job;
+    for (datacenter::HostId h = 0; h < ctx.dc.num_hosts(); ++h) {
+      if (!ctx.dc.fits(h, v)) continue;
+      const auto& spec = ctx.dc.host(h).spec;
+      const double cpu = ctx.dc.reserved_cpu_pct(h) + extra_cpu[h] + job.cpu_pct;
+      const double mem = ctx.dc.reserved_mem_mb(h) + extra_mem[h] + job.mem_mb;
+      if (cpu > spec.cpu_capacity_pct || mem > spec.mem_mb) continue;
+      actions.push_back(sched::Action::place(v, h));
+      extra_cpu[h] += job.cpu_pct;
+      extra_mem[h] += job.mem_mb;
+      if (auto* tr = obs::tracer(ctx.dc.recorder())) {
+        auto& e = tr->emit(now, obs::EventKind::kDecision);
+        e.vm = v;
+        e.host = h;
+        e.label = "first-fit";
+      }
+      break;
+    }
+  }
+  // Each greedy placement counts as one solver step against the rung's
+  // budget, so sustained overload can still breach its way down to frozen.
+  if (auto* rc = resilience::controller(ctx.dc.recorder())) {
+    rc->note_solver_effort(now, static_cast<int>(actions.size()));
   }
   return actions;
 }

@@ -88,6 +88,12 @@ class ScoreBasedPolicy final : public sched::Policy {
   /// returns the shared pool, or nullptr when running serially.
   SolverPool* pool();
 
+  /// LadderLevel::kFirstFit round: greedy first-fit placements of queued
+  /// VMs (ascending host id), no score model, no migrations. O(queue x
+  /// hosts) with no allocation beyond the action vector — the cheap rung
+  /// the watchdog can always afford.
+  std::vector<sched::Action> first_fit(const sched::SchedContext& ctx) const;
+
   ScoreBasedConfig config_;
   HillClimbStats last_stats_;
   sim::SimTime last_consolidation_ = -1e18;  ///< time of last migration round

@@ -26,7 +26,7 @@ ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
   std::vector<int> row_of_host(dc.num_hosts(), -1);
   for (HostId h = 0; h < dc.num_hosts(); ++h) {
     const auto& host = dc.host(h);
-    if (!host.is_placeable()) continue;
+    if (!dc.placeable(h)) continue;
     HostRow r;
     r.id = h;
     r.cpu_cap = host.spec.cpu_capacity_pct;

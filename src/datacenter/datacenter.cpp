@@ -9,6 +9,7 @@
 #include "datacenter/xen_scheduler.hpp"
 #include "faults/fault_injector.hpp"
 #include "obs/obs.hpp"
+#include "resilience/resilience.hpp"
 #include "support/contracts.hpp"
 #include "validate/validate.hpp"
 #include "support/distributions.hpp"
@@ -147,16 +148,27 @@ bool Datacenter::hw_sw_ok(HostId h, VmId v) const {
   return (host.spec.software & job.software) == job.software;
 }
 
+bool Datacenter::placeable(HostId h) const {
+  if (!hosts_[h].is_placeable()) return false;
+  // may_veto_placement() keeps this per-cell hot path to an inline flag
+  // test while every breaker is healthy.
+  if (auto* rc = resilience::controller(recorder_)) {
+    if (rc->may_veto_placement() && !rc->allows_placement(h, sim_.now())) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Datacenter::fits(HostId h, VmId v) const {
-  const Host& host = hosts_[h];
-  if (!host.is_placeable()) return false;
+  if (!placeable(h)) return false;
   if (!hw_sw_ok(h, v)) return false;
   return occupation_if(h, v) <= 1.0 + kEps;
 }
 
 bool Datacenter::fits_memory(HostId h, VmId v) const {
   const Host& host = hosts_[h];
-  if (!host.is_placeable()) return false;
+  if (!placeable(h)) return false;
   if (!hw_sw_ok(h, v)) return false;
   const Vm& m = vms_[v];
   double mem = reserved_mem_mb(h);
@@ -410,6 +422,9 @@ void Datacenter::place(VmId v, HostId h) {
   host.ops.push_back(op);
   arm_op_deadline(h, host.spec.creation_cost_s);
   ++recorder_.counts.creations;
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_op_start(h, sim_.now());
+  }
   if (auto* tr = obs::tracer(recorder_)) {
     auto& e = tr->emit(sim_.now(), obs::EventKind::kCreateStart);
     e.vm = v;
@@ -439,6 +454,9 @@ void Datacenter::complete_creation(HostId h, VmId v) {
   remove_op(host, Operation::Kind::kCreate, v);
   m.state = VmState::kRunning;
   m.last_progress_update = sim_.now();
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_op_success(h, sim_.now());
+  }
   reallocate_io(h);
   reallocate(h);
   update_node_counters();
@@ -489,6 +507,9 @@ void Datacenter::migrate(VmId v, HostId to) {
 
   ++recorder_.counts.migrations;
   ++m.migrations;
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_op_start(to, sim_.now());
+  }
   if (auto* tr = obs::tracer(recorder_)) {
     auto& e = tr->emit(sim_.now(), obs::EventKind::kMigrateStart);
     e.vm = v;
@@ -522,6 +543,9 @@ void Datacenter::complete_migration(HostId from, HostId to, VmId v) {
   m.state = VmState::kRunning;
   m.migration_source = kNoHost;
   m.last_progress_update = sim_.now();
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_op_success(to, sim_.now());
+  }
   reallocate_io(to);
   reallocate(from);
   reallocate(to);
@@ -869,6 +893,9 @@ void Datacenter::fail_host(HostId h) {
     e.host = h;
     e.arg("lost", static_cast<double>(lost.size()));
   }
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_host_crashed(h, sim_.now());
+  }
   note_host_fault(h);
 
   const double repair = failure_model_.draw_repair_time(rng_);
@@ -879,6 +906,9 @@ void Datacenter::fail_host(HostId h) {
     update_power(hh);
     if (auto* tr = obs::tracer(recorder_)) {
       tr->emit(sim_.now(), obs::EventKind::kHostRepaired).host = h;
+    }
+    if (auto* rc = resilience::controller(recorder_)) {
+      rc->note_host_repaired(h, sim_.now());
     }
     update_node_counters();
     if (on_host_repaired) on_host_repaired(h);
@@ -1009,6 +1039,9 @@ void Datacenter::fail_operation(HostId h, Operation::Kind kind, VmId v,
       EA_ASSERT(false);  // passive leg carries no injection flags
       return;
   }
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_op_failure(h, sim_.now());
+  }
   note_host_fault(h);
   if (on_operation_failed) on_operation_failed(fop, v, h, timed_out);
 }
@@ -1082,6 +1115,9 @@ void Datacenter::boot_failed(HostId h) {
   if (auto* tr = obs::tracer(recorder_)) {
     tr->emit(sim_.now(), obs::EventKind::kBootFailed).host = h;
   }
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_op_failure(h, sim_.now());
+  }
   note_host_fault(h);
   update_node_counters();
   if (on_host_boot_failed) on_host_boot_failed(h);
@@ -1093,9 +1129,12 @@ void Datacenter::note_host_fault(HostId h) {
   Host& host = host_mut(h);
   if (host.quarantined) return;
   const sim::SimTime now = sim_.now();
-  if (now - host.fault_window_start > q.window_s) {
+  if (now - host.fault_window_start >= q.window_s) {
     // Sliding-window approximation: restart the window at the first fault
-    // after the previous window lapsed.
+    // after the previous window lapsed. The comparison is >=, not >: a
+    // fault landing exactly one window after the window opened (e.g. a
+    // cooldown expiring on a round boundary) belongs to a *fresh* window —
+    // counting it against the stale one re-quarantines on stale faults.
     host.fault_window_start = now;
     host.fault_count = 0;
   }
@@ -1122,8 +1161,14 @@ void Datacenter::note_host_fault(HostId h) {
     if (auto* tr = obs::tracer(recorder_)) {
       tr->emit(sim_.now(), obs::EventKind::kUnquarantine).host = h;
     }
+    if (auto* rc = resilience::controller(recorder_)) {
+      rc->note_host_unquarantined(h, sim_.now());
+    }
     if (on_host_unquarantined) on_host_unquarantined(h);
   });
+  if (auto* rc = resilience::controller(recorder_)) {
+    rc->note_host_quarantined(h, sim_.now());
+  }
   if (on_host_quarantined) on_host_quarantined(h);
 }
 

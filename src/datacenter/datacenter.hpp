@@ -121,8 +121,16 @@ class Datacenter {
   /// Hardware + software requirement check (the Preq penalty).
   [[nodiscard]] bool hw_sw_ok(HostId h, VmId v) const;
 
+  /// Whether `h` accepts new placements / incoming migrations at all:
+  /// host.is_placeable() (On, no maintenance, no quarantine) AND — when a
+  /// ResilienceController rides on the recorder — its circuit breaker
+  /// allows placement (closed, or half-open with the probe slot free).
+  /// Policies and solvers must consult this, not Host::is_placeable(),
+  /// so plans never target a breaker-open host.
+  [[nodiscard]] bool placeable(HostId h) const;
+
   /// True when `v` may be placed on / migrated to `h` without exceeding
-  /// capacity: host On, hw/sw ok, occupation_if <= 1 (+epsilon).
+  /// capacity: host placeable, hw/sw ok, occupation_if <= 1 (+epsilon).
   [[nodiscard]] bool fits(HostId h, VmId v) const;
   /// Like fits() but ignores the CPU dimension (memory and hw/sw only);
   /// used by the non-consolidating baselines, which oversubscribe CPU.

@@ -61,7 +61,27 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
     config.driver.retry.base_s = config.faults.retry_base_s;
     config.driver.retry.cap_s = config.faults.retry_cap_s;
     config.driver.retry.jitter = config.faults.retry_jitter;
+    // An armed breaker in the fault plan switches the resilience control
+    // plane on for its circuit-breaker half even without a --resilience=
+    // spec (watchdog and admission stay at their inert defaults).
+    if (config.faults.breaker_threshold > 0) {
+      config.resilience.enabled = true;
+      config.resilience.breaker_threshold = config.faults.breaker_threshold;
+      config.resilience.breaker_probe_after_s =
+          config.faults.breaker_probe_after_s;
+      config.resilience.breaker_dead_after = config.faults.breaker_dead_after;
+    }
   }
+
+#if EASCHED_RESILIENCE_ENABLED
+  std::optional<resilience::ResilienceController> res;
+  if (config.resilience.enabled) {
+    res.emplace(config.resilience, recorder, config.datacenter.hosts.size());
+    recorder.resilience = &*res;
+  }
+#else
+  config.resilience.enabled = false;
+#endif
 
   datacenter::Datacenter dc(simulator, config.datacenter, recorder);
 
@@ -134,6 +154,7 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   result.end_time_s = simulator.now();
   result.jobs_submitted = driver.submitted();
   result.jobs_finished = driver.finished();
+  result.jobs_shed = driver.shed();
   result.events_dispatched = simulator.dispatched();
   result.events_cancelled = simulator.cancelled();
   result.hit_horizon = config.horizon_s > 0 && !driver.all_done();

@@ -10,6 +10,7 @@
 #include "faults/fault_plan.hpp"
 #include "metrics/report.hpp"
 #include "obs/obs.hpp"
+#include "resilience/resilience.hpp"
 #include "sched/driver.hpp"
 #include "validate/invariant_checker.hpp"
 #include "workload/job.hpp"
@@ -42,6 +43,14 @@ struct RunConfig {
   /// configs. Parse from a CLI `--faults=` spec with parse_fault_plan().
   faults::FaultPlan faults;
 
+  /// Resilience control plane (see resilience/): solver deadline watchdog
+  /// with the degradation ladder, admission control, and per-host circuit
+  /// breakers. Inert by default; parse from a CLI `--resilience=` spec with
+  /// parse_resilience_spec(). A fault plan with breaker_threshold > 0 arms
+  /// the breakers even when this is otherwise disabled. Ignored entirely in
+  /// EASCHED_RESILIENCE=OFF builds.
+  resilience::ResilienceConfig resilience;
+
   /// Hard simulation-time cap as a safety net against pathological stalls;
   /// runs normally end when the last job finishes. Zero disables the cap.
   sim::SimTime horizon_s = 0;
@@ -59,6 +68,7 @@ struct RunResult {
   metrics::RunReport report;
   std::size_t jobs_submitted = 0;
   std::size_t jobs_finished = 0;
+  std::size_t jobs_shed = 0;  ///< arrivals rejected by admission control
   std::uint64_t events_dispatched = 0;
   std::uint64_t events_cancelled = 0;
   sim::SimTime end_time_s = 0;

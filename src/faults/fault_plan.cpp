@@ -88,6 +88,18 @@ void apply_pair(FaultPlan& plan, const std::string& key,
     plan.quarantine_cooldown_s = parse_double(key, value);
     return;
   }
+  if (key == "breaker_threshold") {
+    plan.breaker_threshold = static_cast<int>(parse_u64(key, value));
+    return;
+  }
+  if (key == "breaker_probe_after") {
+    plan.breaker_probe_after_s = parse_double(key, value);
+    return;
+  }
+  if (key == "breaker_dead_after") {
+    plan.breaker_dead_after = static_cast<int>(parse_u64(key, value));
+    return;
+  }
   if (key == "lemon") {
     plan.lemons.push_back(parse_lemon(value));
     return;
@@ -176,6 +188,13 @@ std::string FaultPlan::to_string() const {
   out << "quarantine_budget=" << quarantine_budget << '\n';
   out << "quarantine_window=" << quarantine_window_s << '\n';
   out << "quarantine_cooldown=" << quarantine_cooldown_s << '\n';
+  // Breakers are off by default; emitting the keys only when armed keeps
+  // the textual form of pre-breaker plans unchanged.
+  if (breaker_threshold > 0) {
+    out << "breaker_threshold=" << breaker_threshold << '\n';
+    out << "breaker_probe_after=" << breaker_probe_after_s << '\n';
+    out << "breaker_dead_after=" << breaker_dead_after << '\n';
+  }
   return out.str();
 }
 

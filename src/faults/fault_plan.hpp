@@ -82,6 +82,14 @@ struct FaultPlan {
   double quarantine_window_s = 3600.0;
   double quarantine_cooldown_s = 1800.0;
 
+  // ---- circuit-breaker knobs (resilience control plane) ------------------
+  // When breaker_threshold > 0 the experiment runner enables the resilience
+  // controller's per-host breakers with these settings, so a single
+  // `--faults=` spec scripts chaos, recovery and breaker policy together.
+  int breaker_threshold = 0;          ///< consecutive failures to open; 0 = off
+  double breaker_probe_after_s = 600; ///< half-open probe delay after opening
+  int breaker_dead_after = 0;         ///< re-opens before host is dead; 0 = never
+
   [[nodiscard]] const OpFaultSpec& spec(FaultOp op) const {
     return ops[static_cast<std::size_t>(op)];
   }
@@ -102,7 +110,8 @@ struct FaultPlan {
 /// Operation keys: create | migrate | power_on | power_off | checkpoint,
 /// each with .fail / .hang / .slow / .slow_factor. Recovery keys:
 /// timeout_factor, retry_base, retry_cap, retry_jitter, quarantine_budget,
-/// quarantine_window, quarantine_cooldown. `lemon=<host>:<multiplier>` may
+/// quarantine_window, quarantine_cooldown, breaker_threshold,
+/// breaker_probe_after, breaker_dead_after. `lemon=<host>:<multiplier>` may
 /// repeat. A spec containing no '=' is treated as a path to a file holding
 /// the same pairs, one per line ('#' starts a comment).
 ///

@@ -21,6 +21,10 @@ namespace easched::validate {
 class InvariantChecker;
 }
 
+namespace easched::resilience {
+class ResilienceController;
+}
+
 namespace easched::metrics {
 
 /// Exact integral of a piecewise-constant signal.
@@ -119,6 +123,17 @@ struct Counters {
   std::uint64_t rollbacks = 0;      ///< migrations rolled back to the source
   std::uint64_t quarantines = 0;    ///< hosts exiled over the failure budget
   std::uint64_t boot_failures = 0;  ///< hosts that missed their boot deadline
+
+  // ---- resilience counters (control plane, see src/resilience/) ---------
+  std::uint64_t solver_breaches = 0;   ///< rounds that exhausted the budget
+  std::uint64_t ladder_downshifts = 0; ///< degradation-ladder steps down
+  std::uint64_t ladder_upshifts = 0;   ///< hysteresis recoveries back up
+  std::uint64_t jobs_shed = 0;         ///< arrivals rejected by admission
+  std::uint64_t jobs_deferred = 0;     ///< arrivals pushed back for later
+  std::uint64_t breaker_opens = 0;     ///< host circuit breakers tripped
+  std::uint64_t breaker_closes = 0;    ///< breakers closed by a good probe
+  std::uint64_t breaker_probes = 0;    ///< half-open probe ops dispatched
+  std::uint64_t breaker_deaths = 0;    ///< hosts written off as dead
 };
 
 /// One bundle with every accumulator a run needs; the Datacenter feeds the
@@ -162,6 +177,11 @@ struct Recorder {
   /// layer already receives the recorder. Access via the compile-gated
   /// helper in validate/validate.hpp, never directly.
   validate::InvariantChecker* validator = nullptr;
+
+  /// Optional resilience controller (see resilience/); not owned. Same
+  /// ride-on-the-recorder pattern as `obs` and `validator`. Access via the
+  /// compile-gated helper in resilience/resilience.hpp, never directly.
+  resilience::ResilienceController* resilience = nullptr;
 
   /// Total energy in kWh up to time t.
   [[nodiscard]] double energy_kwh(sim::SimTime t) const {

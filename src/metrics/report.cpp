@@ -49,6 +49,18 @@ RunReport make_report(const Recorder& recorder, double end_s,
   const obs::SnapshotRow* recovery = r.metrics.find("robust.recovery_s");
   r.recoveries =
       recovery == nullptr ? 0 : static_cast<std::size_t>(recovery->count);
+  r.solver_breaches = count("resilience.solver_breaches");
+  r.ladder_downshifts = count("resilience.ladder_downshifts");
+  r.ladder_upshifts = count("resilience.ladder_upshifts");
+  r.jobs_shed = count("resilience.jobs_shed");
+  r.jobs_deferred = count("resilience.jobs_deferred");
+  r.breaker_opens = count("resilience.breaker_opens");
+  r.breaker_closes = count("resilience.breaker_closes");
+  r.breaker_deaths = count("resilience.breaker_deaths");
+  const obs::SnapshotRow* max_level =
+      r.metrics.find("resilience.max_ladder_level");
+  r.max_ladder_level =
+      max_level == nullptr ? 0 : static_cast<int>(max_level->value);
   if (!recorder.recovery_s.empty()) {
     r.recovery_p50_s = support::percentile(recorder.recovery_s, 50);
     r.recovery_p95_s = support::percentile(recorder.recovery_s, 95);
@@ -102,6 +114,27 @@ std::string RunReport::robustness_to_string() const {
                 recovery_p50_s, recovery_p95_s, recovery_max_s, recoveries);
   os << buf;
   return os.str();
+}
+
+std::string RunReport::resilience_to_string() const {
+  if (solver_breaches == 0 && ladder_downshifts == 0 && jobs_shed == 0 &&
+      jobs_deferred == 0 && breaker_opens == 0 && breaker_deaths == 0) {
+    return {};
+  }
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "resilience:  breaches %llu  ladder down/up %llu/%llu (max rung %d)  "
+      "shed %llu  deferred %llu  breaker open/close/dead %llu/%llu/%llu",
+      static_cast<unsigned long long>(solver_breaches),
+      static_cast<unsigned long long>(ladder_downshifts),
+      static_cast<unsigned long long>(ladder_upshifts), max_ladder_level,
+      static_cast<unsigned long long>(jobs_shed),
+      static_cast<unsigned long long>(jobs_deferred),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(breaker_closes),
+      static_cast<unsigned long long>(breaker_deaths));
+  return buf;
 }
 
 }  // namespace easched::metrics

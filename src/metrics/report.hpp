@@ -45,6 +45,19 @@ struct RunReport {
   double recovery_p95_s = 0;
   double recovery_max_s = 0;
 
+  // ---- resilience (control plane: watchdog / ladder / admission /
+  // breakers; see src/resilience/) ----------------------------------------
+  std::uint64_t solver_breaches = 0;
+  std::uint64_t ladder_downshifts = 0;
+  std::uint64_t ladder_upshifts = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_deferred = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_deaths = 0;
+  /// Deepest degradation rung the run visited (0 = stayed at full quality).
+  int max_ladder_level = 0;
+
   /// Every run counter as named instruments (see obs::publish_run_metrics
   /// for the catalogue) — the single formatting/export path: CSV via
   /// metrics.to_csv(), JSON via metrics.to_json(), and the robustness line
@@ -57,6 +70,11 @@ struct RunReport {
   /// One line with the robustness counters and time-to-recover percentiles
   /// (empty when no faults were injected and nothing was recovered).
   [[nodiscard]] std::string robustness_to_string() const;
+
+  /// One line with the resilience control-plane counters (empty when the
+  /// controller never acted: no breaches, shed/deferred jobs or breaker
+  /// trips).
+  [[nodiscard]] std::string resilience_to_string() const;
 };
 
 /// Builds the report from a recorder at measurement end time `end_s`.

@@ -1,5 +1,7 @@
 #include "obs/obs.hpp"
 
+#include "resilience/resilience.hpp"
+
 namespace easched::obs {
 
 void publish_run_metrics(const metrics::Recorder& rec,
@@ -23,6 +25,23 @@ void publish_run_metrics(const metrics::Recorder& rec,
   registry.counter("sim.events_dispatched").set(rec.events_dispatched);
   registry.counter("sim.events_cancelled").set(rec.events_cancelled);
   registry.gauge("run.max_oversubscription").set(rec.max_oversubscription);
+  registry.counter("resilience.solver_breaches").set(c.solver_breaches);
+  registry.counter("resilience.ladder_downshifts").set(c.ladder_downshifts);
+  registry.counter("resilience.ladder_upshifts").set(c.ladder_upshifts);
+  registry.counter("resilience.jobs_shed").set(c.jobs_shed);
+  registry.counter("resilience.jobs_deferred").set(c.jobs_deferred);
+  registry.counter("resilience.breaker_opens").set(c.breaker_opens);
+  registry.counter("resilience.breaker_closes").set(c.breaker_closes);
+  registry.counter("resilience.breaker_probes").set(c.breaker_probes);
+  registry.counter("resilience.breaker_deaths").set(c.breaker_deaths);
+  if (const auto* rc = resilience::controller(rec)) {
+    registry.gauge("resilience.ladder_level")
+        .set(static_cast<double>(static_cast<int>(rc->ladder())));
+    registry.gauge("resilience.max_ladder_level")
+        .set(static_cast<double>(static_cast<int>(rc->max_level_reached())));
+    registry.gauge("resilience.breaker_open")
+        .set(static_cast<double>(rc->breakers_not_healthy()));
+  }
 
   // Recovery times span VM re-creation (~minutes) through repair-gated
   // waits (~hours); bucket edges follow that spread.

@@ -35,6 +35,13 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kRetry:           return "retry";
     case EventKind::kInvariantViolation:
       return "invariant-violation";
+    case EventKind::kLadderShift:     return "ladder-shift";
+    case EventKind::kJobShed:         return "job-shed";
+    case EventKind::kJobDeferred:     return "job-deferred";
+    case EventKind::kBreakerOpen:     return "breaker-open";
+    case EventKind::kBreakerProbe:    return "breaker-probe";
+    case EventKind::kBreakerClose:    return "breaker-close";
+    case EventKind::kHostDead:        return "host-dead";
   }
   return "?";
 }
@@ -63,6 +70,14 @@ const char* category(EventKind kind) noexcept {
       return "faults";
     case EventKind::kInvariantViolation:
       return "validate";
+    case EventKind::kLadderShift:
+    case EventKind::kJobShed:
+    case EventKind::kJobDeferred:
+    case EventKind::kBreakerOpen:
+    case EventKind::kBreakerProbe:
+    case EventKind::kBreakerClose:
+    case EventKind::kHostDead:
+      return "resilience";
     default:
       return "host";
   }

@@ -61,6 +61,14 @@ enum class EventKind : std::uint8_t {
   kSlaAlarm,         ///< vm
   kRetry,            ///< vm; args: attempt, delay_s
   kInvariantViolation,  ///< label = "<rule>: message"; args: rule (index)
+  kLadderShift,      ///< degradation-ladder move; label = "<from>-><to>";
+                     ///< args: from, to, breach (1 = budget breach caused it)
+  kJobShed,          ///< vm rejected by admission control; args: queue
+  kJobDeferred,      ///< vm pushed back by admission; args: queue, defers
+  kBreakerOpen,      ///< host circuit breaker tripped; args: failures
+  kBreakerProbe,     ///< half-open probe op dispatched onto host
+  kBreakerClose,     ///< breaker closed after a successful probe
+  kHostDead,         ///< host written off after too many breaker re-opens
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

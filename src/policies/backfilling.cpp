@@ -15,7 +15,7 @@ std::vector<datacenter::HostId> on_hosts(const Datacenter& dc) {
   std::vector<HostId> out;
   out.reserve(dc.num_hosts());
   for (HostId h = 0; h < dc.num_hosts(); ++h) {
-    if (dc.host(h).is_placeable()) out.push_back(h);
+    if (dc.placeable(h)) out.push_back(h);
   }
   return out;
 }
@@ -47,7 +47,7 @@ std::vector<sched::Action> BackfillingPolicy::schedule(
     HostId best = datacenter::kNoHost;
     double best_occ = -1;
     for (HostId h = 0; h < ctx.dc.num_hosts(); ++h) {
-      if (!ctx.dc.host(h).is_placeable()) continue;
+      if (!ctx.dc.placeable(h)) continue;
       if (!ctx.dc.hw_sw_ok(h, v)) continue;
       const auto& spec = ctx.dc.host(h).spec;
       const double cpu =

@@ -28,7 +28,7 @@ std::vector<sched::Action> DynamicBackfillingPolicy::schedule(
   std::vector<HostId> working;
   for (HostId h = 0; h < dc.num_hosts(); ++h) {
     const auto& host = dc.host(h);
-    if (!host.is_placeable()) continue;
+    if (!dc.placeable(h)) continue;
     if (host.residents.empty() || !host.ops.empty()) continue;
     // Only steady hosts (every resident running) are donors/receivers.
     bool steady = true;

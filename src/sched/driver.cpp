@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "obs/obs.hpp"
+#include "resilience/resilience.hpp"
 #include "support/contracts.hpp"
 #include "validate/validate.hpp"
 #include "workload/satisfaction.hpp"
@@ -61,7 +62,11 @@ SchedulerDriver::SchedulerDriver(sim::Simulator& simulator,
       power_(config.power),
       adaptive_(config.adaptive, config.power),
       rng_(config.seed),
-      retry_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+      // A named stream, not seed^constant: the XOR form collides with the
+      // default-seeded Rng at seed 0 (the constant is the default seed) and
+      // with the policy stream of seed s^constant for every s — either way
+      // the backoff jitter would replay another subsystem's draws.
+      retry_rng_(support::Rng::named(config.seed, "sched.retry")) {
   dc_.on_vm_finished = [this](VmId v) {
     ++finished_;
     round();
@@ -146,7 +151,23 @@ void SchedulerDriver::submit_workload(const workload::Workload& jobs) {
   submitted_ += jobs.size();
 }
 
-void SchedulerDriver::on_arrival(const workload::Job& job) {
+void SchedulerDriver::on_arrival(const workload::Job& job, int defers) {
+  if (auto* rc = resilience::controller(dc_.recorder())) {
+    switch (rc->admit(sim_.now(), queue_.size(), defers)) {
+      case resilience::Admission::kAdmit:
+        break;
+      case resilience::Admission::kDefer:
+        // Re-attempt admission after the backpressure delay; the job has
+        // not been materialised, so nothing else changes.
+        sim_.after(rc->defer_delay_s(),
+                   [this, job, defers] { on_arrival(job, defers + 1); });
+        return;
+      case resilience::Admission::kShed:
+        ++shed_;
+        if (all_done() && on_all_done) on_all_done();
+        return;
+    }
+  }
   const VmId v = dc_.admit_job(job);
   if (auto* tr = obs::tracer(dc_.recorder())) {
     auto& e = tr->emit(sim_.now(), obs::EventKind::kJobArrival);
@@ -226,6 +247,8 @@ const char* to_string(QueueOrder order) noexcept {
 void SchedulerDriver::round() {
   if (in_round_) return;  // actions can re-trigger notifications
   in_round_ = true;
+  auto* rc = resilience::controller(dc_.recorder());
+  if (rc != nullptr) rc->begin_round(sim_.now());
   obs::PhaseProfiler* prof = obs::profiler(dc_.recorder());
   obs::PhaseProfiler::Scope round_scope(prof, obs::Phase::kRound);
   switch (config_.queue_order) {
@@ -260,6 +283,10 @@ void SchedulerDriver::round() {
     view = &eligible_;
   }
   SchedContext ctx{dc_, *view, rng_};
+  if (rc != nullptr) {
+    ctx.ladder = rc->ladder();
+    ctx.solver_budget = rc->solver_budget();
+  }
   const std::vector<Action> actions = policy_.schedule(ctx);
   std::size_t applied = 0;
   {
@@ -279,6 +306,9 @@ void SchedulerDriver::round() {
         .arg("actions", static_cast<double>(applied));
     if (prof != nullptr) e.arg("wall_round_ms", round_scope.elapsed_ms());
   }
+  // Close the watchdog window: the controller judges this round's solver
+  // effort and walks the degradation ladder before the next round begins.
+  if (rc != nullptr) rc->end_round(sim_.now());
   // End-of-round sync point: every actuator decision of this round has
   // been applied, so the world must be coherent. Full invariant sweep.
   if (auto* ck = validate::checker(dc_.recorder())) {

@@ -88,11 +88,12 @@ class SchedulerDriver {
     return queue_;
   }
 
-  /// Jobs submitted / finished so far.
+  /// Jobs submitted / finished / shed by admission control so far.
   [[nodiscard]] std::size_t submitted() const { return submitted_; }
   [[nodiscard]] std::size_t finished() const { return finished_; }
+  [[nodiscard]] std::size_t shed() const { return shed_; }
   [[nodiscard]] bool all_done() const {
-    return submitted_ > 0 && finished_ == submitted_;
+    return submitted_ > 0 && finished_ + shed_ == submitted_;
   }
 
   /// Runs one scheduling round now (also invoked internally on events);
@@ -138,7 +139,9 @@ class SchedulerDriver {
     sim::SimTime failed_at = -1;   ///< first disruption of this episode
   };
 
-  void on_arrival(const workload::Job& job);
+  /// Arrival entry point; `defers` counts how many times admission control
+  /// already pushed this arrival back (resilience backpressure).
+  void on_arrival(const workload::Job& job, int defers = 0);
   /// Applies the policy's actions (after defensive validation) and returns
   /// how many were actually executed.
   std::size_t apply(const std::vector<Action>& actions);
@@ -177,6 +180,7 @@ class SchedulerDriver {
   std::vector<bool> boosted_;  ///< per-VM: demand already boosted
   std::size_t submitted_ = 0;
   std::size_t finished_ = 0;
+  std::size_t shed_ = 0;  ///< arrivals rejected by admission control
   bool in_round_ = false;
 };
 

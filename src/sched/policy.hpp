@@ -14,6 +14,7 @@
 
 #include "datacenter/datacenter.hpp"
 #include "datacenter/ids.hpp"
+#include "resilience/health.hpp"
 #include "support/rng.hpp"
 
 namespace easched::sched {
@@ -37,6 +38,12 @@ struct SchedContext {
   const datacenter::Datacenter& dc;
   const std::vector<datacenter::VmId>& queue;  ///< FIFO of queued VMs
   support::Rng& rng;  ///< policy randomness (seeded per run)
+  /// Degradation-ladder level of this round (resilience control plane);
+  /// kFull when no ResilienceController is attached. The score-based
+  /// policy degrades its round accordingly; cheap policies may ignore it.
+  resilience::LadderLevel ladder = resilience::LadderLevel::kFull;
+  /// Per-round solver step budget at that level (0 = unlimited).
+  int solver_budget = 0;
 };
 
 class Policy {

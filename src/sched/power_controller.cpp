@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/resilience.hpp"
 #include "support/contracts.hpp"
 
 namespace easched::sched {
@@ -13,11 +14,13 @@ using datacenter::HostId;
 using datacenter::HostState;
 
 std::vector<HostId> hosts_off(const Datacenter& dc) {
+  auto* rc = resilience::controller(dc.recorder());
   std::vector<HostId> out;
   for (HostId h = 0; h < dc.num_hosts(); ++h) {
     const auto& host = dc.host(h);
     if (host.state == HostState::kOff && !host.maintenance &&
-        !host.quarantined) {
+        !host.quarantined &&
+        (rc == nullptr || rc->allows_power_on(h))) {
       out.push_back(h);
     }
   }

@@ -64,4 +64,17 @@ Rng Rng::split() noexcept {
   return Rng{(*this)()};
 }
 
+Rng Rng::named(std::uint64_t seed, const char* name) noexcept {
+  // FNV-1a over the stream name, then one SplitMix64 round to mix the
+  // result into the seed. Distinct names give unrelated streams; equal
+  // (seed, name) pairs give identical ones.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t mix = seed ^ h;
+  return Rng{splitmix64(mix)};
+}
+
 }  // namespace easched::support

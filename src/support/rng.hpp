@@ -43,6 +43,14 @@ class Rng {
   /// consumer does not perturb the draws seen by the others.
   Rng split() noexcept;
 
+  /// A stream derived from (seed, name). XOR-ing the seed with a constant
+  /// is NOT a safe way to carve out a subsystem stream — for the seed equal
+  /// to that constant it collides with the default-seeded engine, and for
+  /// any seed s it collides with the plain stream of seed s^constant.
+  /// Hashing the name into the seed keeps every named stream disjoint from
+  /// every plain-seeded one for all seeds.
+  static Rng named(std::uint64_t seed, const char* name) noexcept;
+
  private:
   std::uint64_t state_[4];
 };

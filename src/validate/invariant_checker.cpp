@@ -55,6 +55,10 @@ const char* to_string(Rule rule) noexcept {
       return "event-monotonicity";
     case Rule::kEnergyConsistency:
       return "energy-consistency";
+    case Rule::kLadderTransition:
+      return "ladder-transition";
+    case Rule::kBreakerTransition:
+      return "breaker-transition";
   }
   return "?";
 }
@@ -93,6 +97,56 @@ void InvariantChecker::on_host_transition(sim::SimTime t, HostId h,
            msg("host %u: illegal power transition %s -> %s", h,
                datacenter::to_string(from), datacenter::to_string(to)));
   }
+}
+
+void InvariantChecker::check_ladder_shift(sim::SimTime t,
+                                          resilience::LadderLevel from,
+                                          resilience::LadderLevel to,
+                                          bool breach) {
+  ++checks_;
+  const int df = static_cast<int>(from);
+  const int dt = static_cast<int>(to);
+  const bool one_rung = breach ? dt == df + 1 : dt == df - 1;
+  if (!one_rung || dt < 0 || dt >= resilience::kNumLadderLevels) {
+    report(Rule::kLadderTransition, t,
+           msg("illegal ladder shift %s -> %s (%s)", resilience::to_string(from),
+               resilience::to_string(to), breach ? "breach" : "recovery"));
+  }
+}
+
+void InvariantChecker::check_breaker_transition(sim::SimTime t,
+                                                datacenter::HostId h,
+                                                resilience::HostHealth from,
+                                                resilience::HostHealth to) {
+  ++checks_;
+  if (!breaker_transition_legal(from, to)) {
+    report(Rule::kBreakerTransition, t,
+           msg("host %u: illegal health transition %s -> %s", h,
+               resilience::to_string(from), resilience::to_string(to)));
+  }
+}
+
+bool InvariantChecker::breaker_transition_legal(
+    resilience::HostHealth from, resilience::HostHealth to) noexcept {
+  using H = resilience::HostHealth;
+  switch (from) {
+    case H::kHealthy:
+      // Opened by K consecutive failures / a crash, or overlaid by the
+      // datacenter's quarantine.
+      return to == H::kSuspect || to == H::kQuarantined;
+    case H::kSuspect:
+      // Closed by a good probe, overlaid by quarantine, or written off
+      // after too many re-opens.
+      return to == H::kHealthy || to == H::kQuarantined || to == H::kDead;
+    case H::kQuarantined:
+      // Cooldown release hands the host back as Suspect: it must prove
+      // itself through a probe before taking load again.
+      return to == H::kSuspect;
+    case H::kDead:
+      // Only hardware repair resurrects a dead host, and only to Suspect.
+      return to == H::kSuspect;
+  }
+  return false;
 }
 
 void InvariantChecker::on_event_dispatched(sim::SimTime t) {

@@ -42,6 +42,7 @@
 
 #include "datacenter/host.hpp"
 #include "datacenter/ids.hpp"
+#include "resilience/health.hpp"
 #include "sim/simulator.hpp"
 
 namespace easched::core {
@@ -61,8 +62,10 @@ enum class Rule : std::uint8_t {
   kScoreCache,
   kEventMonotonicity,
   kEnergyConsistency,
+  kLadderTransition,
+  kBreakerTransition,
 };
-inline constexpr int kNumRules = 6;
+inline constexpr int kNumRules = 8;
 
 const char* to_string(Rule rule) noexcept;
 
@@ -108,6 +111,23 @@ class InvariantChecker : public sim::SimObserver {
 
   [[nodiscard]] static bool transition_legal(
       datacenter::HostState from, datacenter::HostState to) noexcept;
+
+  /// Degradation-ladder transition hook, called by the
+  /// ResilienceController *before* it assigns the new level. Legal moves
+  /// are exactly one rung, downward only on a budget breach and upward
+  /// only on hysteresis recovery — so the level is monotone non-improving
+  /// within a breach episode.
+  void check_ladder_shift(sim::SimTime t, resilience::LadderLevel from,
+                          resilience::LadderLevel to, bool breach);
+
+  /// Host-health transition hook, called by the ResilienceController
+  /// *before* it assigns the new state.
+  void check_breaker_transition(sim::SimTime t, datacenter::HostId h,
+                                resilience::HostHealth from,
+                                resilience::HostHealth to);
+
+  [[nodiscard]] static bool breaker_transition_legal(
+      resilience::HostHealth from, resilience::HostHealth to) noexcept;
 
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
     return violations_;

@@ -102,6 +102,25 @@ TEST(FaultPlanParse, RoundTripsThroughToString) {
   EXPECT_EQ(back.quarantine_budget, 5);
 }
 
+TEST(FaultPlanParse, BreakerKeysParseAndRoundTrip) {
+  const FaultPlan plan = parse_fault_plan(
+      "breaker_threshold=2,breaker_probe_after=300,breaker_dead_after=4");
+  EXPECT_EQ(plan.breaker_threshold, 2);
+  EXPECT_DOUBLE_EQ(plan.breaker_probe_after_s, 300.0);
+  EXPECT_EQ(plan.breaker_dead_after, 4);
+  // Armed breakers survive the textual round trip; a default plan keeps
+  // emitting the pre-breaker key set.
+  std::string inline_spec = plan.to_string();
+  for (char& c : inline_spec) {
+    if (c == '\n') c = ',';
+  }
+  const FaultPlan back = parse_fault_plan(inline_spec);
+  EXPECT_EQ(back.breaker_threshold, 2);
+  EXPECT_DOUBLE_EQ(back.breaker_probe_after_s, 300.0);
+  EXPECT_EQ(back.breaker_dead_after, 4);
+  EXPECT_EQ(FaultPlan{}.to_string().find("breaker"), std::string::npos);
+}
+
 TEST(FaultPlanParse, RejectsBadInput) {
   EXPECT_THROW(parse_fault_plan("bogus_key=1"), std::invalid_argument);
   EXPECT_THROW(parse_fault_plan("create.explode=1"), std::invalid_argument);
@@ -343,6 +362,57 @@ TEST(FaultedDatacenter, QuarantineAfterBudgetThenCooldownRelease) {
   t.f.simulator.run_until(250.0);
   EXPECT_FALSE(t.f.dc.host(0).quarantined);
   EXPECT_TRUE(t.f.dc.host(0).is_placeable());
+}
+
+// Regression for the failure-window boundary comparison: a fault landing
+// exactly window_s after the window opened belongs to a fresh window. The
+// old `>` comparison counted it against the stale window, so periodic
+// faults spaced exactly one window apart (deadline aborts land on exact
+// multiples of timeout_factor x the deterministic creation time, and a
+// cooldown expiry can re-open the window on the same round boundary)
+// re-quarantined a host that never accumulated the budget within any
+// single window.
+TEST(FaultedDatacenter, FaultExactlyOnWindowBoundaryOpensFreshWindow) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.spec(FaultOp::kCreate).hang_prob = 1.0;  // abort at exactly 4 x 40 s
+  datacenter::QuarantinePolicy quarantine;
+  quarantine.failure_budget = 2;
+  quarantine.window_s = 320;  // second abort lands exactly on the boundary
+  quarantine.cooldown_s = 100;
+  InjectedDc t(plan, 1, quarantine);
+
+  const auto v = t.f.admit_and_place(make_job(), 0);
+  t.f.simulator.run_until(160.0);  // first deadline abort, in-window fault
+  ASSERT_EQ(t.f.dc.vm(v).state, VmState::kQueued);
+  ASSERT_FALSE(t.f.dc.host(0).quarantined);
+
+  t.f.dc.place(v, 0);              // second hang, aborts at exactly t = 320
+  t.f.simulator.run_until(320.0);
+  ASSERT_EQ(t.f.dc.vm(v).state, VmState::kQueued);
+  EXPECT_FALSE(t.f.dc.host(0).quarantined);
+  EXPECT_EQ(t.f.recorder.counts.quarantines, 0u);
+}
+
+TEST(FaultedDatacenter, FaultStrictlyInsideWindowStillQuarantines) {
+  // Sanity pair for the boundary test above: widen the window by one second
+  // and the same two aborts do exhaust the budget.
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.spec(FaultOp::kCreate).hang_prob = 1.0;
+  datacenter::QuarantinePolicy quarantine;
+  quarantine.failure_budget = 2;
+  quarantine.window_s = 321;
+  quarantine.cooldown_s = 100;
+  InjectedDc t(plan, 1, quarantine);
+
+  const auto v = t.f.admit_and_place(make_job(), 0);
+  t.f.simulator.run_until(160.0);
+  ASSERT_FALSE(t.f.dc.host(0).quarantined);
+  t.f.dc.place(v, 0);
+  t.f.simulator.run_until(320.0);
+  EXPECT_TRUE(t.f.dc.host(0).quarantined);
+  EXPECT_EQ(t.f.recorder.counts.quarantines, 1u);
 }
 
 // ---- end-to-end: fault-heavy experiments ------------------------------------
