@@ -12,6 +12,7 @@
 //                   [--faults "migrate.fail=0.05,lemon=3:8" | --faults file]
 //                   [--trace=out.jsonl] [--trace-format=jsonl|chrome]
 //                   [--metrics-out=metrics.json] [--profile]
+//                   [--summary-out=run_summary.json] [--attribution]
 #include <cstdio>
 
 #include "experiments/runner.hpp"
@@ -72,6 +73,6 @@ int main(int argc, char** argv) {
     const std::string robustness = result.report.robustness_to_string();
     if (!robustness.empty()) std::printf("%s\n", robustness.c_str());
   }
-  obs::finish(observability, obs_opts);
+  obs::finish(observability, obs_opts, &result.report);
   return 0;
 }

@@ -73,8 +73,12 @@ int main(int argc, char** argv) {
   const obs::ObsOptions obs_opts = obs::options_from_cli(args);
   args.warn_unrecognized();
   obs::Observability observability;
-  if (obs::wants_observability(obs_opts)) {
+  // With the control plane armed, ride the energy ledger along so the
+  // degraded-rung energy split below has data (null-cost otherwise).
+  const bool rung_energy = args.has("resilience");
+  if (rung_energy || obs::wants_observability(obs_opts)) {
     obs::configure(observability, obs_opts);
+    if (rung_energy) observability.ledger.enable();
     config.obs = &observability;
   }
 
@@ -92,6 +96,21 @@ int main(int argc, char** argv) {
       std::printf("%s\n", line.c_str());
     }
   }
-  obs::finish(observability, obs_opts);
+  if (rung_energy && observability.ledger.total_j() > 0) {
+    // Resilience x attribution: how many of the run's joules were burned
+    // while the ladder had degraded the solver.
+    constexpr double kJPerKwh = 3.6e6;
+    const auto& rungs = observability.ledger.rung_j();
+    const double full_j = rungs.empty() ? 0.0 : rungs[0];
+    double degraded_j = 0;
+    for (std::size_t r = 1; r < rungs.size(); ++r) degraded_j += rungs[r];
+    const double total_j = observability.ledger.total_j();
+    std::printf(
+        "attribution: energy full-solver %.2f kWh (%.1f%%), degraded rungs "
+        "%.2f kWh (%.1f%%)\n",
+        full_j / kJPerKwh, 100.0 * full_j / total_j, degraded_j / kJPerKwh,
+        100.0 * degraded_j / total_j);
+  }
+  obs::finish(observability, obs_opts, &result.report);
   return 0;
 }

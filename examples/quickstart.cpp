@@ -8,6 +8,7 @@
 // Usage: quickstart [--policy SB|BF|RD|RR|DBF|SB0|SB1|SB2] [--seed N]
 //                    [--trace=out.jsonl] [--trace-format=jsonl|chrome]
 //                    [--metrics-out=metrics.json] [--profile]
+//                    [--summary-out=run_summary.json] [--attribution]
 #include <cstdio>
 
 #include "experiments/runner.hpp"
@@ -62,6 +63,6 @@ int main(int argc, char** argv) {
               result.jobs_finished, result.jobs_submitted,
               static_cast<unsigned long long>(result.events_dispatched),
               result.end_time_s / sim::kHour);
-  obs::finish(observability, obs_opts);
+  obs::finish(observability, obs_opts, &result.report);
   return 0;
 }

@@ -1,0 +1,170 @@
+// Offline reporting over run_summary.json artifacts (see
+// docs/run_summary_schema.md): answers the attribution questions a raw
+// metrics snapshot can't — which hosts burned the most energy, which score
+// term dominated the scheduler's decisions, how close the runner-up
+// candidates were.
+//
+// Usage:
+//   report_tool <run_summary.json> [--top=10]
+//
+// Prints the energy breakdown (per state / rung / VM class), the top-N
+// energy hosts, and the decision rollup (per-term contribution totals,
+// dominant-term counts, counterfactual deltas). Sections whose data is
+// absent from the artifact (attribution disabled) are skipped.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/attribution/decision_log.hpp"
+#include "obs/attribution/summary_diff.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using easched::obs::FlatSummary;
+
+constexpr double kJPerKwh = 3.6e6;
+
+double num_or(const FlatSummary& s, const std::string& key, double fallback) {
+  const auto it = s.numbers.find(key);
+  return it != s.numbers.end() ? it->second : fallback;
+}
+
+bool has(const FlatSummary& s, const std::string& key) {
+  return s.numbers.find(key) != s.numbers.end();
+}
+
+void print_energy(const FlatSummary& s, std::size_t top_n) {
+  if (!has(s, "energy.total_j")) return;
+  const double total = num_or(s, "energy.total_j", 0);
+  std::printf("\n-- energy --\n");
+  std::printf("total: %.3f kWh\n", total / kJPerKwh);
+  const char* states[] = {"off", "boot", "idle", "load"};
+  for (const char* st : states) {
+    const double j = num_or(s, std::string("energy.") + st + "_j", 0);
+    std::printf("  %-5s %10.3f kWh  (%.1f%%)\n", st, j / kJPerKwh,
+                total > 0 ? 100.0 * j / total : 0.0);
+  }
+  const double mgmt = num_or(s, "energy.mgmt_j", 0);
+  std::printf("  dom0  %10.3f kWh of the load share\n", mgmt / kJPerKwh);
+
+  // Per-rung split (prefix scan: rung names are dynamic).
+  const std::string rung_prefix = "energy.rungs.";
+  bool rung_header = false;
+  for (const auto& [key, value] : s.numbers) {
+    if (key.compare(0, rung_prefix.size(), rung_prefix) != 0) continue;
+    if (!rung_header) {
+      std::printf("by rung:\n");
+      rung_header = true;
+    }
+    std::printf("  %-14s %10.3f kWh  (%.1f%%)\n",
+                key.substr(rung_prefix.size()).c_str(), value / kJPerKwh,
+                total > 0 ? 100.0 * value / total : 0.0);
+  }
+
+  const std::string class_prefix = "energy.vm_classes.";
+  bool class_header = false;
+  for (const auto& [key, value] : s.numbers) {
+    if (key.compare(0, class_prefix.size(), class_prefix) != 0) continue;
+    if (!class_header) {
+      std::printf("by VM class (load share):\n");
+      class_header = true;
+    }
+    std::printf("  %-8s %10.3f kWh\n", key.substr(class_prefix.size()).c_str(),
+                value / kJPerKwh);
+  }
+
+  // Top-N hosts by total joules.
+  std::vector<std::pair<std::size_t, double>> hosts;
+  for (std::size_t h = 0;; ++h) {
+    const std::string key =
+        "energy.hosts." + std::to_string(h) + ".total_j";
+    if (!has(s, key)) break;
+    hosts.emplace_back(h, num_or(s, key, 0));
+  }
+  if (!hosts.empty()) {
+    std::stable_sort(hosts.begin(), hosts.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    if (hosts.size() > top_n) hosts.resize(top_n);
+    std::printf("top-%zu energy hosts:\n", hosts.size());
+    for (const auto& [h, j] : hosts) {
+      const std::string base = "energy.hosts." + std::to_string(h) + ".";
+      std::printf("  host %-4zu %10.3f kWh  (load %.3f, idle %.3f)\n", h,
+                  j / kJPerKwh, num_or(s, base + "load_j", 0) / kJPerKwh,
+                  num_or(s, base + "idle_j", 0) / kJPerKwh);
+    }
+  }
+}
+
+void print_decisions(const FlatSummary& s) {
+  if (!has(s, "decisions.count")) return;
+  std::printf("\n-- decisions --\n");
+  std::printf(
+      "count: %.0f (place %.0f, migrate %.0f, first-fit %.0f)\n",
+      num_or(s, "decisions.count", 0), num_or(s, "decisions.places", 0),
+      num_or(s, "decisions.migrations", 0),
+      num_or(s, "decisions.first_fit", 0));
+  std::printf("per-term contribution totals / dominated decisions:\n");
+  for (std::size_t i = 0; i < easched::obs::kDecisionTermCount; ++i) {
+    const char* term = easched::obs::decision_term_name(i);
+    std::printf("  %-6s %14.4f   dominates %5.0f\n", term,
+                num_or(s, std::string("decisions.term_totals.") + term, 0),
+                num_or(s, std::string("decisions.dominant.") + term, 0));
+  }
+  std::printf(
+      "runner-up: %.0f decisions had one, mean counterfactual delta %.4f\n",
+      num_or(s, "decisions.with_runner_up", 0),
+      num_or(s, "decisions.mean_delta", 0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  support::CliArgs args(argc, argv);
+  const std::size_t top_n =
+      static_cast<std::size_t>(args.get_int("top", 10));
+  args.warn_unrecognized();
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "report_tool <run_summary.json> [--top=N]\n");
+    return 2;
+  }
+  const std::string path = args.positional().front();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  FlatSummary summary;
+  std::string error;
+  if (!obs::flatten_json(buf.str(), summary, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+
+  const auto schema = summary.strings.find("schema");
+  const auto policy = summary.strings.find("policy.name");
+  std::printf("%s (%s, policy %s)\n", path.c_str(),
+              schema != summary.strings.end() ? schema->second.c_str()
+                                              : "no schema",
+              policy != summary.strings.end() ? policy->second.c_str()
+                                              : "?");
+  std::printf("report: %.2f kWh, satisfaction %.2f%%, delay %.2f%%, "
+              "%.0f migrations\n",
+              num_or(summary, "report.energy_kwh", 0),
+              num_or(summary, "report.satisfaction", 0),
+              num_or(summary, "report.delay_pct", 0),
+              num_or(summary, "report.migrations", 0));
+
+  print_energy(summary, top_n);
+  print_decisions(summary);
+  return 0;
+}

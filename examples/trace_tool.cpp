@@ -8,12 +8,20 @@
 //   trace_tool inspect --swf trace.swf
 //   trace_tool summarize --trace run.jsonl     # JSONL run trace tallies
 //   trace_tool validate --trace run.json       # Chrome trace_event check
+//   trace_tool diff runA.json runB.json        # run_summary regression diff
+//             [--threshold=0.01]               #   global relative threshold
+//             [--prefix-thresholds=energy.:0.05,decisions.:0.1]
+//
+// `diff` exits 0 when every metric matches within its threshold, 1 on any
+// delta / missing metric / schema mismatch — the regression verdict the
+// ctest gate and refresh_bench.sh rely on.
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "obs/attribution/summary_diff.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "workload/swf.hpp"
@@ -116,6 +124,58 @@ int validate_trace(const std::string& path) {
   return 0;
 }
 
+bool load_flat_summary(const std::string& path,
+                       easched::obs::FlatSummary& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!easched::obs::flatten_json(buf.str(), out, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Parses `prefix:threshold` pairs separated by commas, e.g.
+/// "energy.:0.05,decisions.:0.1".
+bool parse_prefix_thresholds(const std::string& spec,
+                             easched::obs::DiffOptions& options) {
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr,
+                   "bad --prefix-thresholds entry '%s' (want prefix:rel)\n",
+                   item.c_str());
+      return false;
+    }
+    options.prefix_thresholds.emplace_back(
+        item.substr(0, colon), std::stod(item.substr(colon + 1)));
+  }
+  return true;
+}
+
+int diff_summaries_cli(const std::string& path_a, const std::string& path_b,
+                       const easched::obs::DiffOptions& options) {
+  easched::obs::FlatSummary a;
+  easched::obs::FlatSummary b;
+  if (!load_flat_summary(path_a, a) || !load_flat_summary(path_b, b)) {
+    return 2;
+  }
+  const easched::obs::DiffResult result =
+      easched::obs::diff_summaries(a, b, options);
+  std::fputs(easched::obs::format_diff(result, path_a, path_b).c_str(),
+             stdout);
+  return result.regressed() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +183,24 @@ int main(int argc, char** argv) {
   support::CliArgs args(argc, argv);
   const std::string mode =
       args.positional().empty() ? "generate" : args.positional().front();
+
+  if (mode == "diff") {
+    obs::DiffOptions options;
+    options.rel_threshold = args.get_double("threshold", 0.0);
+    const std::string prefixes = args.get("prefix-thresholds", "");
+    args.warn_unrecognized();
+    if (args.positional().size() != 3) {
+      std::fprintf(stderr,
+                   "trace_tool diff <runA.json> <runB.json> "
+                   "[--threshold=REL] [--prefix-thresholds=p:REL,...]\n");
+      return 2;
+    }
+    if (!prefixes.empty() && !parse_prefix_thresholds(prefixes, options)) {
+      return 2;
+    }
+    return diff_summaries_cli(args.positional()[1], args.positional()[2],
+                              options);
+  }
 
   if (mode == "summarize" || mode == "validate") {
     const std::string path = args.get("trace", "");
@@ -171,8 +249,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr,
-               "unknown mode '%s' (generate|inspect|summarize|validate)\n",
-               mode.c_str());
+  std::fprintf(
+      stderr,
+      "unknown mode '%s' (generate|inspect|summarize|validate|diff)\n",
+      mode.c_str());
   return 2;
 }

@@ -145,26 +145,77 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
       emitted = true;
     }
     if (emitted) {
-      if (auto* tr = obs::tracer(ctx.dc.recorder())) {
+      obs::DecisionLog* dlog = obs::decisions(ctx.dc.recorder());
+      obs::Tracer* tr = obs::tracer(ctx.dc.recorder());
+      if (dlog != nullptr || tr != nullptr) {
         // Winning-score attribution, evaluated under the final plan (the
         // VM is planned on `planned`, everyone else where the solver left
         // them) — the configuration the actuated decision commits to.
         const ScoreBreakdown b = model.breakdown(planned, c);
-        auto& e = tr->emit(now, obs::EventKind::kDecision);
-        e.vm = v;
-        e.host = h;
-        if (original != model.virtual_row()) {
-          e.host2 = model.host_at(original);
+
+        // Counterfactual: the cheapest real alternative host under the
+        // same plan. Only computed when the decision log asked for it — a
+        // full column scan per decision is not free.
+        int runner_up = -1;
+        double runner_up_total = 0;
+        if (dlog != nullptr) {
+          for (int r = 0; r < model.virtual_row(); ++r) {
+            if (r == planned) continue;
+            const double s = model.cell(r, c);
+            if (s >= kInfScore) continue;
+            if (runner_up < 0 || s < runner_up_total) {
+              runner_up = r;
+              runner_up_total = s;
+            }
+          }
         }
-        e.label = original == model.virtual_row() ? "place" : "migrate";
-        e.arg("req", b.req)
-            .arg("res", b.res)
-            .arg("virt", b.virt)
-            .arg("conc", b.conc)
-            .arg("pwr", b.pwr)
-            .arg("sla", b.sla)
-            .arg("fault", b.fault)
-            .arg("total", b.total);
+
+        if (tr != nullptr) {
+          auto& e = tr->emit(now, obs::EventKind::kDecision);
+          e.vm = v;
+          e.host = h;
+          if (original != model.virtual_row()) {
+            e.host2 = model.host_at(original);
+          }
+          e.label = original == model.virtual_row() ? "place" : "migrate";
+          e.arg("req", b.req)
+              .arg("res", b.res)
+              .arg("virt", b.virt)
+              .arg("conc", b.conc)
+              .arg("pwr", b.pwr)
+              .arg("sla", b.sla)
+              .arg("fault", b.fault)
+              .arg("total", b.total);
+          if (runner_up >= 0) {
+            // Extra attribution args ride along only when the decision log
+            // is on, so default traces stay byte-identical.
+            e.arg("runner_up",
+                  static_cast<double>(model.host_at(runner_up)))
+                .arg("delta", runner_up_total - b.total);
+          }
+        }
+
+        if (dlog != nullptr) {
+          obs::DecisionRecord rec;
+          rec.t = now;
+          rec.kind = original == model.virtual_row()
+                         ? obs::DecisionRecord::Kind::kPlace
+                         : obs::DecisionRecord::Kind::kMigrate;
+          rec.vm = v;
+          rec.host = h;
+          if (original != model.virtual_row()) {
+            rec.from_host = model.host_at(original);
+          }
+          rec.terms = {b.req, b.res, b.virt, b.conc,
+                       b.pwr, b.sla, b.fault};
+          rec.total = b.total;
+          if (runner_up >= 0) {
+            rec.runner_up = model.host_at(runner_up);
+            rec.runner_up_total = runner_up_total;
+            rec.delta = runner_up_total - b.total;
+          }
+          dlog->add(std::move(rec));
+        }
       }
     }
   }
@@ -195,6 +246,16 @@ std::vector<sched::Action> ScoreBasedPolicy::first_fit(
         e.vm = v;
         e.host = h;
         e.label = "first-fit";
+      }
+      if (auto* dlog = obs::decisions(ctx.dc.recorder())) {
+        // No score model on this rung — the record carries the placement
+        // itself with zero terms, so rung mix still shows up in rollups.
+        obs::DecisionRecord rec;
+        rec.t = now;
+        rec.kind = obs::DecisionRecord::Kind::kFirstFit;
+        rec.vm = v;
+        rec.host = h;
+        dlog->add(std::move(rec));
       }
       break;
     }

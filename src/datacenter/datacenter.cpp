@@ -213,6 +213,9 @@ VmId Datacenter::admit_job(const workload::Job& job) {
   v.state = VmState::kQueued;
   v.cpu_demand_pct = job.cpu_pct;
   v.last_progress_update = sim_.now();
+  if (auto* el = obs::ledger(recorder_)) {
+    el->note_vm(v.id, job.cpu_pct);
+  }
   vms_.push_back(std::move(v));
   return vms_.back().id;
 }
@@ -339,6 +342,7 @@ void Datacenter::reallocate(HostId h) {
   for (std::size_t i = 0; i < running.size(); ++i) {
     Vm& rv = vms_[running[i]];
     const double demand = std::max(rv.cpu_demand_pct, kEps);
+    rv.alloc_cpu_pct = alloc.vm_alloc_pct[i];
     rv.progress_rate = alloc.vm_alloc_pct[i] / demand * eff;
     reschedule_finish(rv);
   }
@@ -367,6 +371,38 @@ void Datacenter::update_power(Host& h) {
   }
   recorder_.watts.set(sim_.now(), h.id, watts);
   recorder_.cpu_pct.set(sim_.now(), h.id, cpu);
+
+  if (auto* el = obs::ledger(recorder_)) {
+    // Hand the ledger the same wattage, decomposed by state so it can
+    // bucket joules and split the load share across the running residents.
+    obs::EnergySample sample;
+    switch (h.state) {
+      case HostState::kOn: {
+        sample.idle_w = std::min(watts, h.spec.power.watts_idle());
+        sample.load_w = watts - sample.idle_w;
+        sample.used_cpu_pct = h.used_cpu_pct;
+        sample.shares.reserve(h.residents.size());
+        for (VmId r : h.residents) {
+          const Vm& rv = vms_[r];
+          if (rv.state != VmState::kRunning || rv.alloc_cpu_pct <= 0) {
+            continue;
+          }
+          sample.shares.push_back({rv.id, rv.alloc_cpu_pct});
+        }
+        break;
+      }
+      case HostState::kBooting:
+      case HostState::kShuttingDown:
+        sample.boot_w = watts;
+        break;
+      case HostState::kOff:
+      case HostState::kFailed:
+        sample.off_w = watts;
+        break;
+    }
+    el->set_host_power(sim_.now(), static_cast<std::size_t>(h.id),
+                       std::move(sample));
+  }
 }
 
 void Datacenter::update_node_counters() {

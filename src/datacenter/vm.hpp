@@ -44,6 +44,11 @@ struct Vm {
   double work_done_s = 0;
   double work_checkpointed_s = 0;
 
+  /// Xen-allocated CPU [% of one core] from the latest reallocate(); feeds
+  /// the energy ledger's per-VM share split. Only meaningful while
+  /// kRunning.
+  double alloc_cpu_pct = 0;
+
   /// Progress bookkeeping: work accrues at `progress_rate` (dedicated
   /// seconds per wall second, in [0,1]) since `last_progress_update`.
   double progress_rate = 0;

@@ -162,6 +162,12 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   // built, so sim.events_* rows land in every registry snapshot.
   recorder.events_dispatched = result.events_dispatched;
   recorder.events_cancelled = result.events_cancelled;
+  // Close the energy ledger's integration window at the same end time the
+  // report integrates to, so the attributed joules and the aggregate
+  // energy_kwh cover the identical interval.
+  if (auto* el = obs::ledger(recorder)) {
+    el->finish(simulator.now());
+  }
   result.report =
       make_report(recorder, simulator.now(), policy->name(),
                   config.driver.power.lambda_min,

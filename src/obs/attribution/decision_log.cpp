@@ -1,0 +1,59 @@
+#include "obs/attribution/decision_log.hpp"
+
+#include <cmath>
+
+namespace easched::obs {
+
+namespace {
+constexpr const char* kTermNames[kDecisionTermCount] = {
+    "req", "res", "virt", "conc", "pwr", "sla", "fault"};
+}  // namespace
+
+const char* decision_term_name(std::size_t term) noexcept {
+  return term < kDecisionTermCount ? kTermNames[term] : "none";
+}
+
+const char* to_string(DecisionRecord::Kind kind) noexcept {
+  switch (kind) {
+    case DecisionRecord::Kind::kPlace: return "place";
+    case DecisionRecord::Kind::kMigrate: return "migrate";
+    case DecisionRecord::Kind::kFirstFit: return "first-fit";
+  }
+  return "unknown";
+}
+
+std::size_t DecisionRecord::dominant_term() const noexcept {
+  std::size_t best = kDecisionTermCount;
+  double best_mag = 0;
+  for (std::size_t i = 0; i < kDecisionTermCount; ++i) {
+    const double mag = std::fabs(terms[i]);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = i;
+    }
+  }
+  return best;
+}
+
+DecisionLog::Summary DecisionLog::summarize() const {
+  Summary s;
+  for (const DecisionRecord& r : records_) {
+    switch (r.kind) {
+      case DecisionRecord::Kind::kPlace: ++s.places; break;
+      case DecisionRecord::Kind::kMigrate: ++s.migrations; break;
+      case DecisionRecord::Kind::kFirstFit: ++s.first_fit; break;
+    }
+    for (std::size_t i = 0; i < kDecisionTermCount; ++i) {
+      s.term_totals[i] += r.terms[i];
+    }
+    const std::size_t dom = r.dominant_term();
+    if (dom < kDecisionTermCount) ++s.dominant_counts[dom];
+    if (r.runner_up >= 0) {
+      ++s.with_runner_up;
+      s.delta_total += r.delta;
+    }
+  }
+  return s;
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,98 @@
+// Structured log of every placement / migration decision with its score
+// attribution.
+//
+// The Tracer's kDecision events already carry the winner's score breakdown;
+// the DecisionLog adds what a trace line cannot cheaply answer: who the
+// runner-up host was and what taking it instead would have cost (the
+// counterfactual score delta), plus run-level rollups — per-term
+// contribution totals and "which penalty term dominated this decision"
+// counts — that feed the `decisions.*` metrics family, run_summary.json and
+// `report_tool`.
+//
+// Terms mirror core::ScoreBreakdown (req/res/virt/conc/pwr/sla/fault) but
+// are stored as plain doubles so obs/ stays independent of the solver
+// headers. Determinism: records are appended from the simulation thread in
+// decision order; nothing here depends on thread counts or wall clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace easched::obs {
+
+/// Index order of the score terms in DecisionRecord::terms. Names (see
+/// decision_term_name) are stable identifiers used in metrics labels and
+/// run_summary.json.
+inline constexpr std::size_t kDecisionTermCount = 7;
+[[nodiscard]] const char* decision_term_name(std::size_t term) noexcept;
+
+struct DecisionRecord {
+  enum class Kind : std::uint8_t { kPlace, kMigrate, kFirstFit };
+
+  sim::SimTime t = 0;
+  Kind kind = Kind::kPlace;
+  std::int64_t vm = -1;
+  std::int64_t host = -1;        ///< winning host
+  std::int64_t from_host = -1;   ///< migration source (-1 for placements)
+  std::int64_t runner_up = -1;   ///< second-best host (-1 when none finite)
+
+  /// req, res, virt, conc, pwr, sla, fault — winner's penalty terms.
+  /// All-zero for first-fit decisions (the degraded rung skips the model).
+  std::array<double, kDecisionTermCount> terms{};
+  double total = 0;           ///< winner's score (sum of terms)
+  double runner_up_total = 0; ///< runner-up's score (0 when runner_up < 0)
+  /// Counterfactual cost of the runner-up: runner_up_total - total
+  /// (>= 0 when the solver found the true argmin; 0 when no runner-up).
+  double delta = 0;
+
+  /// Index of the largest-magnitude non-zero term (the decision's
+  /// "dominant" penalty), or kDecisionTermCount when every term is 0.
+  [[nodiscard]] std::size_t dominant_term() const noexcept;
+};
+
+[[nodiscard]] const char* to_string(DecisionRecord::Kind kind) noexcept;
+
+class DecisionLog {
+ public:
+  void enable() noexcept { enabled_ = true; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void add(DecisionRecord rec) { records_.push_back(std::move(rec)); }
+
+  [[nodiscard]] const std::vector<DecisionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Run-level rollup over the records.
+  struct Summary {
+    std::uint64_t places = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t first_fit = 0;
+    /// Sum of each term's contribution over all decisions.
+    std::array<double, kDecisionTermCount> term_totals{};
+    /// How many decisions each term dominated (largest |contribution|).
+    std::array<std::uint64_t, kDecisionTermCount> dominant_counts{};
+    std::uint64_t with_runner_up = 0;
+    double delta_total = 0;  ///< summed counterfactual deltas
+    [[nodiscard]] std::uint64_t count() const noexcept {
+      return places + migrations + first_fit;
+    }
+    [[nodiscard]] double mean_delta() const noexcept {
+      return with_runner_up > 0
+                 ? delta_total / static_cast<double>(with_runner_up)
+                 : 0.0;
+    }
+  };
+  [[nodiscard]] Summary summarize() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace easched::obs

@@ -1,0 +1,40 @@
+// Per-run `run_summary.json` artifact: the machine-readable digest a run
+// leaves behind for cross-run regression diffing (`trace_tool diff`) and
+// offline reporting (`report_tool`).
+//
+// The document carries a versioned schema id, the RunReport scalars, the
+// EnergyLedger attribution (when enabled), the DecisionLog rollup (when
+// enabled) and a flattened view of the metrics registry snapshot. Doubles
+// are formatted with the repo-wide %.9g convention, keys are emitted in a
+// fixed order and nothing wall-clock- or thread-count-dependent is written,
+// so two runs of the same seed/config produce byte-identical files — the
+// property the `obs` ctest gate asserts across solver/sweep thread counts.
+//
+// Bump kRunSummarySchema whenever a key is renamed, moved or dropped;
+// additions are backward compatible and do not need a bump.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/report.hpp"
+
+namespace easched::obs {
+
+struct Observability;
+
+inline constexpr const char* kRunSummarySchema = "easched.run_summary/1";
+
+/// Writes the summary document for a finished run. `obs` may be null (or
+/// carry disabled instruments): the energy / decisions sections are only
+/// emitted for enabled instruments, the rest of the document always is.
+void write_run_summary(std::ostream& os, const metrics::RunReport& report,
+                       const Observability* obs);
+
+/// write_run_summary to `path`. Returns false (with a message on stderr)
+/// when the file cannot be opened.
+bool write_run_summary_file(const std::string& path,
+                            const metrics::RunReport& report,
+                            const Observability* obs);
+
+}  // namespace easched::obs

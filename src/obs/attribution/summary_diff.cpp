@@ -1,0 +1,267 @@
+#include "obs/attribution/summary_diff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace easched::obs {
+namespace {
+
+// Recursive-descent parser for the JSON subset the repo's writers emit:
+// objects, arrays, numbers, strings (\" and \\ escapes), true/false/null.
+// Leaves land in FlatSummary under their dotted path.
+class Flattener {
+ public:
+  Flattener(const std::string& text, FlatSummary& out)
+      : text_(text), out_(out) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!parse_value("")) {
+      if (error != nullptr) {
+        std::ostringstream os;
+        os << "parse error at offset " << pos_ << ": " << error_;
+        *error = os.str();
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = "trailing content after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool consume(char ch) {
+    if (pos_ >= text_.size() || text_[pos_] != ch) return false;
+    ++pos_;
+    return true;
+  }
+
+  static std::string join(const std::string& path, const std::string& key) {
+    return path.empty() ? key : path + "." + key;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      char ch = text_[pos_++];
+      if (ch == '"') return true;
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      } else {
+        out += ch;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char ch = text_[pos_];
+    if (ch == '{') return parse_object(path);
+    if (ch == '[') return parse_array(path);
+    if (ch == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out_.strings[path] = std::move(s);
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out_.numbers[path] = 1;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out_.numbers[path] = 0;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;  // null leaves are dropped
+    }
+    return parse_number(path);
+  }
+
+  bool parse_number(const std::string& path) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return fail("expected value");
+    pos_ += static_cast<std::size_t>(end - start);
+    out_.numbers[path] = v;
+    return true;
+  }
+
+  bool parse_object(const std::string& path) {
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      if (!parse_value(join(path, key))) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    std::size_t index = 0;
+    while (true) {
+      if (!parse_value(join(path, std::to_string(index++)))) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  FlatSummary& out_;
+  std::size_t pos_ = 0;
+  const char* error_ = "";
+};
+
+double threshold_for(const std::string& key, const DiffOptions& options) {
+  double threshold = options.rel_threshold;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, t] : options.prefix_thresholds) {
+    if (prefix.size() >= best_len &&
+        key.compare(0, prefix.size(), prefix) == 0) {
+      best_len = prefix.size();
+      threshold = t;
+    }
+  }
+  return threshold;
+}
+
+void write_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+bool flatten_json(const std::string& json, FlatSummary& out,
+                  std::string* error) {
+  out.numbers.clear();
+  out.strings.clear();
+  return Flattener(json, out).run(error);
+}
+
+DiffResult diff_summaries(const FlatSummary& a, const FlatSummary& b,
+                          const DiffOptions& options) {
+  DiffResult result;
+
+  const auto schema_a = a.strings.find("schema");
+  const auto schema_b = b.strings.find("schema");
+  if (schema_a == a.strings.end() || schema_b == b.strings.end() ||
+      schema_a->second != schema_b->second) {
+    result.schema_mismatch = true;
+  }
+
+  std::set<std::string> keys;
+  for (const auto& [k, v] : a.numbers) keys.insert(k);
+  for (const auto& [k, v] : b.numbers) keys.insert(k);
+
+  for (const std::string& key : keys) {
+    const auto ia = a.numbers.find(key);
+    const auto ib = b.numbers.find(key);
+    DiffEntry entry;
+    entry.key = key;
+    if (ia == a.numbers.end() || ib == b.numbers.end()) {
+      entry.missing_a = ia == a.numbers.end();
+      entry.missing_b = ib == b.numbers.end();
+      if (!entry.missing_a) entry.a = ia->second;
+      if (!entry.missing_b) entry.b = ib->second;
+      result.deltas.push_back(std::move(entry));
+      continue;
+    }
+    entry.a = ia->second;
+    entry.b = ib->second;
+    const double diff = std::fabs(entry.a - entry.b);
+    if (diff == 0) continue;
+    const double scale = std::max(std::fabs(entry.a), std::fabs(entry.b));
+    entry.rel = scale > 0 ? diff / scale : 0.0;
+    if (entry.rel > threshold_for(key, options)) {
+      result.deltas.push_back(std::move(entry));
+    }
+  }
+  return result;
+}
+
+std::string format_diff(const DiffResult& result, const std::string& name_a,
+                        const std::string& name_b) {
+  std::ostringstream os;
+  if (result.schema_mismatch) {
+    os << "schema mismatch between '" << name_a << "' and '" << name_b
+       << "'\n";
+  }
+  for (const DiffEntry& e : result.deltas) {
+    os << e.key << ": ";
+    if (e.missing_a) {
+      os << "(missing)";
+    } else {
+      write_double(os, e.a);
+    }
+    os << " -> ";
+    if (e.missing_b) {
+      os << "(missing)";
+    } else {
+      write_double(os, e.b);
+    }
+    if (!e.missing_a && !e.missing_b) {
+      os << " (rel ";
+      write_double(os, e.rel);
+      os << ')';
+    }
+    os << '\n';
+  }
+  if (!result.regressed()) {
+    os << "no deltas: '" << name_a << "' and '" << name_b
+       << "' match within thresholds\n";
+  }
+  return os.str();
+}
+
+}  // namespace easched::obs

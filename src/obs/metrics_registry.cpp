@@ -20,6 +20,21 @@ std::string full_name(const std::string& name, const std::string& label) {
   return name + "{" + label + "}";
 }
 
+// RFC 4180 quoting: names/labels are free-form, so a comma or quote in a
+// label (e.g. `op={a,b}`) must not split or corrupt the CSV row.
+void write_csv_field(std::ostream& os, const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char ch : field) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+
 }  // namespace
 
 const char* to_string(InstrumentKind kind) noexcept {
@@ -120,7 +135,8 @@ std::string MetricsSnapshot::to_csv() const {
   std::ostringstream os;
   os << "name,kind,value,count,sum,buckets\n";
   for (const SnapshotRow& row : rows) {
-    os << row.name << ',' << to_string(row.kind) << ',';
+    write_csv_field(os, row.name);
+    os << ',' << to_string(row.kind) << ',';
     write_double(os, row.value);
     os << ',' << row.count << ',';
     write_double(os, row.sum);
@@ -149,7 +165,12 @@ std::string MetricsSnapshot::to_json() const {
   for (const SnapshotRow& row : rows) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << row.name << "\",\"kind\":\""
+    os << "{\"name\":\"";
+    for (char ch : row.name) {  // names are free-form; escape for JSON too
+      if (ch == '"' || ch == '\\') os << '\\';
+      os << ch;
+    }
+    os << "\",\"kind\":\""
        << to_string(row.kind) << "\",\"value\":";
     write_double(os, row.value);
     if (row.kind == InstrumentKind::kHistogram) {

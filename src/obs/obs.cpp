@@ -48,6 +48,53 @@ void publish_run_metrics(const metrics::Recorder& rec,
   Histogram& recovery = registry.histogram(
       "robust.recovery_s", {1, 5, 15, 60, 300, 1800, 7200});
   for (double s : rec.recovery_s) recovery.observe(s);
+
+#if EASCHED_TRACE_ENABLED
+  if (rec.obs != nullptr && rec.obs->ledger.enabled()) {
+    const EnergyLedger& ledger = rec.obs->ledger;
+    registry.gauge("energy.total_j").set(ledger.total_j());
+    registry.gauge("energy.state.off_j").set(ledger.off_j());
+    registry.gauge("energy.state.boot_j").set(ledger.boot_j());
+    registry.gauge("energy.state.idle_j").set(ledger.idle_j());
+    registry.gauge("energy.state.load_j").set(ledger.load_j());
+    registry.gauge("energy.mgmt_j").set(ledger.mgmt_j());
+    const auto& hosts = ledger.hosts();
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      const std::string label = "host=" + std::to_string(h);
+      registry.gauge("energy.host.total_j", label).set(hosts[h].total_j());
+      registry.gauge("energy.host.load_j", label).set(hosts[h].load_j);
+    }
+    for (const auto& [cls, joules] : ledger.vm_class_j()) {
+      registry.gauge("energy.vm_class.j", "class=" + cls).set(joules);
+    }
+    const auto& rungs = ledger.rung_j();
+    for (std::size_t r = 0; r < rungs.size(); ++r) {
+      const char* name =
+          r < static_cast<std::size_t>(resilience::kNumLadderLevels)
+              ? resilience::to_string(
+                    static_cast<resilience::LadderLevel>(r))
+              : "beyond";
+      registry.gauge("energy.rung.j", std::string("rung=") + name)
+          .set(rungs[r]);
+    }
+  }
+  if (rec.obs != nullptr && rec.obs->decisions.enabled()) {
+    const DecisionLog::Summary s = rec.obs->decisions.summarize();
+    registry.counter("decisions.count", "kind=place").set(s.places);
+    registry.counter("decisions.count", "kind=migrate").set(s.migrations);
+    registry.counter("decisions.count", "kind=first-fit").set(s.first_fit);
+    registry.counter("decisions.with_runner_up").set(s.with_runner_up);
+    registry.gauge("decisions.delta_total").set(s.delta_total);
+    registry.gauge("decisions.mean_delta").set(s.mean_delta());
+    for (std::size_t i = 0; i < kDecisionTermCount; ++i) {
+      const std::string label =
+          std::string("term=") + decision_term_name(i);
+      registry.gauge("decisions.term_total", label).set(s.term_totals[i]);
+      registry.counter("decisions.dominant", label)
+          .set(s.dominant_counts[i]);
+    }
+  }
+#endif  // EASCHED_TRACE_ENABLED
 }
 
 }  // namespace easched::obs

@@ -21,6 +21,8 @@
 #pragma once
 
 #include "metrics/accumulators.hpp"
+#include "obs/attribution/decision_log.hpp"
+#include "obs/attribution/energy_ledger.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -38,6 +40,8 @@ struct Observability {
   Tracer tracer;
   MetricsRegistry registry;
   PhaseProfiler profiler;
+  EnergyLedger ledger;
+  DecisionLog decisions;
 };
 
 #if EASCHED_TRACE_ENABLED
@@ -55,12 +59,34 @@ struct Observability {
   return (o != nullptr && o->profiler.enabled()) ? &o->profiler : nullptr;
 }
 
+/// The run's energy ledger, or nullptr when absent or not enabled.
+[[nodiscard]] inline EnergyLedger* ledger(
+    const metrics::Recorder& rec) noexcept {
+  Observability* o = rec.obs;
+  return (o != nullptr && o->ledger.enabled()) ? &o->ledger : nullptr;
+}
+
+/// The run's decision log, or nullptr when absent or not enabled.
+[[nodiscard]] inline DecisionLog* decisions(
+    const metrics::Recorder& rec) noexcept {
+  Observability* o = rec.obs;
+  return (o != nullptr && o->decisions.enabled()) ? &o->decisions : nullptr;
+}
+
 #else  // instrumentation compiled out: accessors fold to constant nullptr
 
 [[nodiscard]] constexpr Tracer* tracer(const metrics::Recorder&) noexcept {
   return nullptr;
 }
 [[nodiscard]] constexpr PhaseProfiler* profiler(
+    const metrics::Recorder&) noexcept {
+  return nullptr;
+}
+[[nodiscard]] constexpr EnergyLedger* ledger(
+    const metrics::Recorder&) noexcept {
+  return nullptr;
+}
+[[nodiscard]] constexpr DecisionLog* decisions(
     const metrics::Recorder&) noexcept {
   return nullptr;
 }

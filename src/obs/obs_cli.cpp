@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/attribution/run_summary.hpp"
 #include "support/cli.hpp"
 
 namespace easched::obs {
@@ -13,7 +14,15 @@ ObsOptions options_from_cli(const support::CliArgs& args) {
   opts.trace_path = args.get("trace", "");
   opts.trace_format = args.get("trace-format", "jsonl");
   opts.metrics_path = args.get("metrics-out", "");
+  opts.summary_path = args.get("summary-out", "");
+  opts.attribution = args.get_bool("attribution", false);
   opts.profile = args.get_bool("profile", false);
+  if (opts.summary_path == "true") {  // bare `--summary-out` with no path
+    std::fprintf(
+        stderr,
+        "easched: --summary-out requires a path (--summary-out=run.json)\n");
+    std::exit(2);
+  }
   if (opts.trace_path == "true") {  // bare `--trace` with no path
     std::fprintf(stderr, "easched: --trace requires a path (--trace=out.jsonl)\n");
     std::exit(2);
@@ -29,12 +38,18 @@ ObsOptions options_from_cli(const support::CliArgs& args) {
 
 bool wants_observability(const ObsOptions& opts) {
   return !opts.trace_path.empty() || !opts.metrics_path.empty() ||
-         opts.profile;
+         !opts.summary_path.empty() || opts.attribution || opts.profile;
 }
 
 void configure(Observability& o, const ObsOptions& opts) {
   if (!opts.trace_path.empty()) o.tracer.enable();
   if (opts.profile) o.profiler.enable();
+  // A summary is only useful with attribution data in it, so asking for
+  // the artifact implies the instruments (both null sinks otherwise).
+  if (opts.attribution || !opts.summary_path.empty()) {
+    o.ledger.enable();
+    o.decisions.enable();
+  }
 }
 
 namespace {
@@ -55,7 +70,8 @@ std::ofstream open_or_die(const std::string& path) {
 
 }  // namespace
 
-void finish(Observability& o, const ObsOptions& opts) {
+void finish(Observability& o, const ObsOptions& opts,
+            const metrics::RunReport* report) {
   if (!opts.trace_path.empty()) {
     std::ofstream os = open_or_die(opts.trace_path);
     if (opts.trace_format == "chrome") {
@@ -73,6 +89,18 @@ void finish(Observability& o, const ObsOptions& opts) {
                                                 : snap.to_json());
     std::printf("metrics: %zu instruments -> %s\n", snap.rows.size(),
                 opts.metrics_path.c_str());
+  }
+  if (!opts.summary_path.empty()) {
+    if (report == nullptr) {
+      std::fprintf(stderr,
+                   "easched: --summary-out needs a run report; no summary "
+                   "written\n");
+    } else if (write_run_summary_file(opts.summary_path, *report, &o)) {
+      std::printf("summary: %s -> %s\n", kRunSummarySchema,
+                  opts.summary_path.c_str());
+    } else {
+      std::exit(1);
+    }
   }
   if (opts.profile) {
     const std::string table = o.profiler.to_string();

@@ -1,15 +1,19 @@
 // CLI wiring shared by the example binaries: parses the observability
 // flags (`--trace=<path>`, `--trace-format=jsonl|chrome`,
-// `--metrics-out=<path>`, `--profile`), enables the matching components on
-// an Observability bundle, and writes the requested files when the run
-// ends. Keeping this in one place means every example exposes the same
-// flags with the same semantics.
+// `--metrics-out=<path>`, `--summary-out=<path>`, `--attribution`,
+// `--profile`), enables the matching components on an Observability
+// bundle, and writes the requested files when the run ends. Keeping this
+// in one place means every example exposes the same flags with the same
+// semantics.
 #pragma once
 
 #include <string>
 
 #include "obs/obs.hpp"
 
+namespace easched::metrics {
+struct RunReport;
+}
 namespace easched::support {
 class CliArgs;
 }
@@ -20,6 +24,8 @@ struct ObsOptions {
   std::string trace_path;    ///< empty = no trace requested
   std::string trace_format = "jsonl";  ///< "jsonl" or "chrome"
   std::string metrics_path;  ///< empty = no metrics snapshot requested
+  std::string summary_path;  ///< empty = no run_summary.json requested
+  bool attribution = false;  ///< energy ledger + decision log on
   bool profile = false;      ///< print the phase-profiling rollup table
 };
 
@@ -36,8 +42,10 @@ void configure(Observability& o, const ObsOptions& opts);
 /// Writes the requested outputs: the trace file in the chosen format, the
 /// metrics snapshot (CSV for paths ending in .csv, JSON otherwise; the
 /// experiment runner already published the run counters into the
-/// registry), and the profiling table to stdout. Prints a one-line note
-/// per file written.
-void finish(Observability& o, const ObsOptions& opts);
+/// registry), the run summary (needs `report`; skipped with a warning when
+/// --summary-out was given without one), and the profiling table to
+/// stdout. Prints a one-line note per file written.
+void finish(Observability& o, const ObsOptions& opts,
+            const metrics::RunReport* report = nullptr);
 
 }  // namespace easched::obs

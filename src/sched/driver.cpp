@@ -287,6 +287,10 @@ void SchedulerDriver::round() {
     ctx.ladder = rc->ladder();
     ctx.solver_budget = rc->solver_budget();
   }
+  if (auto* el = obs::ledger(dc_.recorder())) {
+    // Attribute joules from here on to the rung this round runs at.
+    el->set_rung(sim_.now(), static_cast<int>(ctx.ladder));
+  }
   const std::vector<Action> actions = policy_.schedule(ctx);
   std::size_t applied = 0;
   {

@@ -33,7 +33,11 @@ double percentile(std::vector<double> values, double p) {
   EA_EXPECTS(p >= 0.0 && p <= 100.0);
   std::sort(values.begin(), values.end());
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
+  // Clamp the floor index: p=100 makes rank land exactly on size()-1, and
+  // float rounding could push the truncation to size(), reading past the
+  // last sample for tiny n.
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(rank), values.size() - 1);
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] * (1.0 - frac) + values[hi] * frac;

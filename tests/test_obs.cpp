@@ -364,6 +364,75 @@ TEST(MetricsRegistry, SnapshotIsSortedAndLabelled) {
   EXPECT_NE(json.find("ops{op=create}"), std::string::npos);
 }
 
+TEST(MetricsRegistry, CsvQuotesNamesWithCommasAndQuotes) {
+  obs::MetricsRegistry registry;
+  registry.counter("ops", "op=\"a,b\"").inc(2);
+  registry.gauge("plain").set(1.0);
+  const auto snap = registry.snapshot();
+
+  const std::string csv = snap.to_csv();
+  // RFC 4180: the whole field wrapped in quotes, embedded quotes doubled —
+  // the comma inside the label no longer splits the row.
+  EXPECT_NE(csv.find("\"ops{op=\"\"a,b\"\"}\",counter,2"),
+            std::string::npos);
+  // Unremarkable names stay unquoted.
+  EXPECT_NE(csv.find("\nplain,gauge,1"), std::string::npos);
+
+  // The JSON export escapes the embedded quotes too.
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("ops{op=\\\"a,b\\\"}"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PublishGoldenKeySet) {
+  // Golden catalogue of the metric families publish_run_metrics emits on
+  // an attributed run. Renaming or dropping a family — including the
+  // energy.* / decisions.* attribution families — must fail here loudly
+  // instead of silently vanishing from every snapshot. When you add or
+  // rename a metric on purpose, update this list (and bump the
+  // run_summary schema if the artifact keys moved).
+  auto run = std::make_unique<TracedRun>();
+  run->obs.ledger.enable();
+  run->obs.decisions.enable();
+  auto config = traced_config(1);
+  config.obs = &run->obs;
+  run->result =
+      experiments::run_experiment(small_workload(), std::move(config));
+
+  std::set<std::string> families;
+  for (const auto& row : run->obs.registry.snapshot().rows) {
+    families.insert(row.name.substr(0, row.name.find('{')));
+  }
+
+  std::set<std::string> expected = {
+      "ckpt.recoveries", "ckpt.taken", "hosts.failures",
+      "ops.creations", "ops.migrations",
+      "power.turn_offs", "power.turn_ons",
+      "resilience.breaker_closes", "resilience.breaker_deaths",
+      "resilience.breaker_opens", "resilience.breaker_probes",
+      "resilience.jobs_deferred", "resilience.jobs_shed",
+      "resilience.ladder_downshifts", "resilience.ladder_upshifts",
+      "resilience.solver_breaches",
+      "robust.boot_failures", "robust.op_failures", "robust.op_timeouts",
+      "robust.quarantines", "robust.recovery_s", "robust.retries",
+      "robust.rollbacks",
+      "run.max_oversubscription",
+      "sim.events_cancelled", "sim.events_dispatched",
+      "sla.alarms", "vm.recreates",
+  };
+#if EASCHED_TRACE_ENABLED
+  expected.insert({
+      "decisions.count", "decisions.delta_total", "decisions.dominant",
+      "decisions.mean_delta", "decisions.term_total",
+      "decisions.with_runner_up",
+      "energy.host.load_j", "energy.host.total_j", "energy.mgmt_j",
+      "energy.rung.j", "energy.state.boot_j", "energy.state.idle_j",
+      "energy.state.load_j", "energy.state.off_j", "energy.total_j",
+      "energy.vm_class.j",
+  });
+#endif
+  EXPECT_EQ(families, expected);
+}
+
 TEST(MetricsRegistry, PublishedRunMetricsMatchRecorderCounters) {
   metrics::Recorder recorder(2);
   recorder.counts.migrations = 7;

@@ -57,5 +57,28 @@ TEST(Percentile, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 30.0), 7.0);
 }
 
+TEST(Percentile, TinySamplesNeverReadPastTheLastRank) {
+  // The PhaseProfiler asks for p95/p99 on whatever landed in a rollup,
+  // which can be a single round. The nearest-rank floor index must clamp
+  // to the last sample: the high percentiles of a tiny sample are its max,
+  // never garbage from one past the end.
+  for (std::size_t n = 1; n <= 5; ++n) {
+    std::vector<double> v;
+    for (std::size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<double>(i + 1));
+    }
+    const double max = static_cast<double>(n);
+    for (double p : {95.0, 99.0, 100.0}) {
+      const double value = percentile(v, p);
+      EXPECT_LE(value, max) << "n=" << n << " p=" << p;
+      EXPECT_GE(value, v.front()) << "n=" << n << " p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), max);
+  }
+  // n <= 2: p95/p99 both land in the last interpolation interval.
+  EXPECT_DOUBLE_EQ(percentile({1.0}, 99.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 99.0), 1.0 + 2.0 * 0.99);
+}
+
 }  // namespace
 }  // namespace easched::support
