@@ -13,6 +13,8 @@
 //                   [--trace=out.jsonl] [--trace-format=jsonl|chrome]
 //                   [--metrics-out=metrics.json] [--profile]
 //                   [--summary-out=run_summary.json] [--attribution]
+//                   [--telemetry-out=tl.jsonl] [--prom-out=metrics.prom]
+//                   [--alerts="power_w>25000 for=300"] [--live]
 #include <cstdio>
 
 #include "experiments/runner.hpp"

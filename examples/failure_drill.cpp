@@ -22,6 +22,11 @@
 //                 --faults="create.fail=0.2,lemon=3:8"
 // The report then grows a `resilience:` line with breach/ladder/shed/breaker
 // counts (see docs/architecture.md, "Resilience control plane").
+//
+// Live telemetry rides the same observability flags: --telemetry-out=,
+// --prom-out=, --alerts= and --live (in-terminal dashboard) — see
+// docs/telemetry.md. A drill under --alerts="breaker_open_rate>0.1" is the
+// quickest way to watch the alert engine fire.
 #include <cstdio>
 
 #include "experiments/runner.hpp"

@@ -7,6 +7,8 @@
 //                       [--seed N]
 //   trace_tool inspect --swf trace.swf
 //   trace_tool summarize --trace run.jsonl     # JSONL run trace tallies
+//   trace_tool tail run.jsonl [--kind=migrate] # stream-filter JSONL events
+//             [--host=17] [--limit=N]          #   by kind prefix / host id
 //   trace_tool validate --trace run.json       # Chrome trace_event check
 //   trace_tool diff runA.json runB.json        # run_summary regression diff
 //             [--threshold=0.01]               #   global relative threshold
@@ -15,7 +17,9 @@
 // `diff` exits 0 when every metric matches within its threshold, 1 on any
 // delta / missing metric / schema mismatch — the regression verdict the
 // ctest gate and refresh_bench.sh rely on.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -103,6 +107,42 @@ int summarize_trace(const std::string& path) {
                 static_cast<unsigned long long>(t.rollbacks),
                 static_cast<unsigned long long>(t.power_ons),
                 static_cast<unsigned long long>(t.power_offs));
+  }
+  return 0;
+}
+
+/// Extracts the integer value of `"key":N` from one JSONL event line
+/// (host ids are unquoted). Returns -1 when the key is absent.
+long long json_int_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+/// `tail` mode: stream a JSONL run trace, printing only the events whose
+/// kind starts with `kind_prefix` (empty = all) and whose host id equals
+/// `host` (-1 = all). A grep that understands the trace schema — `alert`
+/// matches both alert-fire and alert-resolve, `--host=17` isolates one
+/// machine's life story.
+int tail_trace(const std::string& path, const std::string& kind_prefix,
+               long long host, std::uint64_t limit) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  std::uint64_t matched = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!kind_prefix.empty() &&
+        json_field(line, "kind").rfind(kind_prefix, 0) != 0) {
+      continue;
+    }
+    if (host >= 0 && json_int_field(line, "host") != host) continue;
+    std::printf("%s\n", line.c_str());
+    if (limit > 0 && ++matched >= limit) break;
   }
   return 0;
 }
@@ -202,6 +242,26 @@ int main(int argc, char** argv) {
                               options);
   }
 
+  if (mode == "tail") {
+    // The trace may be a positional arg or --trace=, matching summarize.
+    std::string path = args.get("trace", "");
+    if (path.empty() && args.positional().size() == 2) {
+      path = args.positional()[1];
+    }
+    const std::string kind = args.get("kind", "");
+    const long long host = args.get_int("host", -1);
+    const long long limit = args.get_int("limit", 0);
+    args.warn_unrecognized();
+    if (path.empty() || path == "true" || limit < 0) {
+      std::fprintf(stderr,
+                   "trace_tool tail <run.jsonl> [--kind=PREFIX] "
+                   "[--host=ID] [--limit=N]\n");
+      return 2;
+    }
+    return tail_trace(path, kind, host,
+                      static_cast<std::uint64_t>(limit));
+  }
+
   if (mode == "summarize" || mode == "validate") {
     const std::string path = args.get("trace", "");
     args.warn_unrecognized();
@@ -251,7 +311,7 @@ int main(int argc, char** argv) {
 
   std::fprintf(
       stderr,
-      "unknown mode '%s' (generate|inspect|summarize|validate|diff)\n",
+      "unknown mode '%s' (generate|inspect|summarize|tail|validate|diff)\n",
       mode.c_str());
   return 2;
 }

@@ -15,6 +15,10 @@
 #   5. EASCHED_RESILIENCE=OFF — same compile-out check for the resilience
 #                           control plane (tests drive the controller
 #                           directly, so its suite must still pass)
+#   6. EASCHED_TELEMETRY=OFF — same compile-out check for the live
+#                           telemetry plane (ring/serialisation/alert-engine
+#                           tests drive the classes directly and must still
+#                           pass; the sampling end-to-end tests compile out)
 #
 # Usage: scripts/run_validation.sh [fast]
 #   fast — default build only (step 1); CI tier-1 runs this.
@@ -42,10 +46,10 @@ if [ "$fast" = "fast" ]; then
   exit 0
 fi
 
-echo "== address-sanitized build: validate + faults + resilience =="
+echo "== address-sanitized build: validate + faults + resilience + telemetry =="
 build "$repo/build-validate-asan" -DEASCHED_SANITIZE=address
 EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-asan" \
-  -L "validate|faults|resilience" --output-on-failure -j"$(nproc)"
+  -L "validate|faults|resilience|telemetry" --output-on-failure -j"$(nproc)"
 
 echo "== thread-sanitized build: validate + solver + resilience =="
 build "$repo/build-validate-tsan" -DEASCHED_SANITIZE=thread
@@ -60,6 +64,11 @@ EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate-off" -L validate \
 echo "== EASCHED_RESILIENCE=OFF build: control-plane hooks compiled out =="
 build "$repo/build-resilience-off" -DEASCHED_RESILIENCE=OFF
 ctest --test-dir "$repo/build-resilience-off" -L resilience \
+  --output-on-failure -j"$(nproc)"
+
+echo "== EASCHED_TELEMETRY=OFF build: sampling hooks compiled out =="
+build "$repo/build-telemetry-off" -DEASCHED_TELEMETRY=OFF
+ctest --test-dir "$repo/build-telemetry-off" -L telemetry \
   --output-on-failure -j"$(nproc)"
 
 echo "validation matrix OK"

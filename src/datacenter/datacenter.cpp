@@ -105,6 +105,24 @@ int Datacenter::offline_available_count() const {
   return n;
 }
 
+int Datacenter::booting_count() const {
+  int n = 0;
+  for (const auto& h : hosts_) n += h.state == HostState::kBooting ? 1 : 0;
+  return n;
+}
+
+int Datacenter::failed_count() const {
+  int n = 0;
+  for (const auto& h : hosts_) n += h.state == HostState::kFailed ? 1 : 0;
+  return n;
+}
+
+std::size_t Datacenter::placed_vm_count() const {
+  std::size_t n = 0;
+  for (const auto& h : hosts_) n += h.vm_count();
+  return n;
+}
+
 double Datacenter::reserved_cpu_pct(HostId h) const {
   const Host& host = hosts_[h];
   double cpu = 0;

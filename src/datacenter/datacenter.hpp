@@ -109,6 +109,11 @@ class Datacenter {
   [[nodiscard]] int online_count() const;  ///< On or Booting
   [[nodiscard]] int working_count() const;
   [[nodiscard]] int offline_available_count() const;  ///< Off (not failed)
+  [[nodiscard]] int booting_count() const;
+  [[nodiscard]] int failed_count() const;
+  /// VMs currently assigned to any host (Creating/Running/incoming
+  /// Migrating) — the telemetry "jobs running" rollup.
+  [[nodiscard]] std::size_t placed_vm_count() const;
 
   /// Host occupation: max over CPU and memory of reserved/capacity.
   /// Reservations count Creating/Running residents and incoming migrations

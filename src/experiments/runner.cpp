@@ -144,6 +144,30 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   driver.submit_workload(jobs);
   driver.on_all_done = [&simulator] { simulator.stop(); };
 
+  // Live telemetry: register the sampling periodic only when a plane is
+  // enabled — an untouched run schedules no extra events and stays
+  // bit-identical to a build without the telemetry layer.
+  obs::TelemetryPlane* telemetry = obs::telemetry(recorder);
+  obs::TelemetryPlane::Sources telemetry_src;
+  if (telemetry != nullptr) {
+    telemetry_src.dc = &dc;
+    telemetry_src.driver = &driver;
+    telemetry_src.recorder = &recorder;
+    telemetry_src.lambda_min = config.driver.power.lambda_min;
+    telemetry_src.lambda_max = config.driver.power.lambda_max;
+    telemetry->sample(simulator.now(), telemetry_src);  // t=0 baseline
+    simulator.every(telemetry->config().period_s,
+                    [telemetry, &telemetry_src, &simulator, &driver] {
+                      // The adaptive-threshold extension moves the lambdas
+                      // over time; snapshot the live band.
+                      telemetry_src.lambda_min =
+                          driver.thresholds().lambda_min;
+                      telemetry_src.lambda_max =
+                          driver.thresholds().lambda_max;
+                      telemetry->sample(simulator.now(), telemetry_src);
+                    });
+  }
+
   if (config.horizon_s > 0) {
     simulator.run_until(config.horizon_s);
   } else {
@@ -168,10 +192,19 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   if (auto* el = obs::ledger(recorder)) {
     el->finish(simulator.now());
   }
+  // Close the telemetry stream at the same end time: one final sample (when
+  // the cadence missed the endpoint) and a sink flush, then absorb the
+  // alert firing log into the report below.
+  if (telemetry != nullptr) {
+    telemetry->finish(simulator.now(), telemetry_src);
+  }
   result.report =
       make_report(recorder, simulator.now(), policy->name(),
                   config.driver.power.lambda_min,
                   config.driver.power.lambda_max);
+  if (telemetry != nullptr) {
+    result.report.alerts = telemetry->alerts().log();
+  }
   if (injector) {
     result.fault_trace = injector->trace();
     result.faults_injected = injector->injected_count();
@@ -186,6 +219,7 @@ RunResult run_experiment(const workload::Workload& jobs, RunConfig config) {
   // Post-run aggregation, not hot-path instrumentation: works even with
   // EASCHED_TRACE=OFF so --metrics-out survives instrumentation-free builds.
   if (config.obs != nullptr) {
+    config.obs->registry.set_sim_time(simulator.now());
     obs::publish_run_metrics(recorder, config.obs->registry);
   }
   return result;

@@ -32,6 +32,7 @@ RunReport make_report(const Recorder& recorder, double end_s,
   // Robustness counters route through the metrics registry: publish once,
   // snapshot, then mirror the snapshot rows into the scalar fields.
   obs::MetricsRegistry registry;
+  registry.set_sim_time(end_s);
   obs::publish_run_metrics(recorder, registry);
   r.metrics = registry.snapshot();
   const auto count = [&r](const char* name) -> std::uint64_t {
@@ -135,6 +136,24 @@ std::string RunReport::resilience_to_string() const {
       static_cast<unsigned long long>(breaker_closes),
       static_cast<unsigned long long>(breaker_deaths));
   return buf;
+}
+
+std::string RunReport::alerts_to_string() const {
+  if (alerts.empty()) return {};
+  std::ostringstream os;
+  os << "alerts:";
+  char buf[96];
+  for (const auto& f : alerts) {
+    os << "  " << f.rule;
+    if (f.resolved_t >= 0) {
+      std::snprintf(buf, sizeof buf, " fired@%.9g resolved@%.9g", f.fired_t,
+                    f.resolved_t);
+    } else {
+      std::snprintf(buf, sizeof buf, " fired@%.9g (unresolved)", f.fired_t);
+    }
+    os << buf;
+  }
+  return os.str();
 }
 
 }  // namespace easched::metrics

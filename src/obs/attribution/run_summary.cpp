@@ -194,6 +194,29 @@ void write_run_summary(std::ostream& os, const metrics::RunReport& report,
     os << "},";
   }
 
+  // Emitted only when the run carried an enabled alert engine, so
+  // summaries from alert-free runs stay byte-identical to older baselines.
+  if (obs != nullptr && obs->telemetry.alerts().enabled()) {
+    bool first = true;
+    os << "\"alerts\":{";
+    write_count(os, "rules", obs->telemetry.alerts().rules().size(), first);
+    write_count(os, "episodes", report.alerts.size(), first);
+    write_key(os, "log", first);
+    os << '[';
+    for (std::size_t i = 0; i < report.alerts.size(); ++i) {
+      const auto& f = report.alerts[i];
+      if (i > 0) os << ',';
+      os << "{\"rule\":";
+      write_json_string(os, f.rule);
+      os << ",\"fired_t\":";
+      write_double(os, f.fired_t);
+      os << ",\"resolved_t\":";
+      write_double(os, f.resolved_t);
+      os << '}';
+    }
+    os << "]},";
+  }
+
 #if EASCHED_TRACE_ENABLED
   if (obs != nullptr && obs->ledger.enabled()) {
     write_energy(os, obs->ledger);

@@ -93,6 +93,8 @@ MetricsRegistry::Instrument& MetricsRegistry::fetch(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
+  snap.sample_seq = next_sample_seq_++;
+  snap.sim_time_s = sim_time_s_;
   snap.rows.reserve(instruments_.size());
   for (const auto& [name, ins] : instruments_) {  // std::map: name-sorted
     SnapshotRow row;
@@ -133,7 +135,9 @@ const SnapshotRow* MetricsSnapshot::find(const std::string& name) const {
 
 std::string MetricsSnapshot::to_csv() const {
   std::ostringstream os;
-  os << "name,kind,value,count,sum,buckets\n";
+  os << "# sample_seq=" << sample_seq << " sim_time_s=";
+  write_double(os, sim_time_s);
+  os << "\nname,kind,value,count,sum,buckets\n";
   for (const SnapshotRow& row : rows) {
     write_csv_field(os, row.name);
     os << ',' << to_string(row.kind) << ',';
@@ -160,7 +164,9 @@ std::string MetricsSnapshot::to_csv() const {
 
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
-  os << "{\"metrics\":[";
+  os << "{\"sample_seq\":" << sample_seq << ",\"sim_time_s\":";
+  write_double(os, sim_time_s);
+  os << ",\"metrics\":[";
   bool first = true;
   for (const SnapshotRow& row : rows) {
     if (!first) os << ',';

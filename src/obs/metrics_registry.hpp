@@ -85,9 +85,17 @@ struct SnapshotRow {
 struct MetricsSnapshot {
   std::vector<SnapshotRow> rows;  ///< sorted by name
 
+  /// Snapshot stamp: `sample_seq` counts snapshot() calls on the owning
+  /// registry (monotonic per registry, never reset) and `sim_time_s` is
+  /// the simulation clock last handed to set_sim_time() — together they
+  /// make repeated exports from one process distinguishable.
+  std::uint64_t sample_seq = 0;
+  double sim_time_s = 0;
+
   [[nodiscard]] const SnapshotRow* find(const std::string& name) const;
-  /// `name,kind,value,count,sum,buckets` — histogram buckets flattened as
-  /// `le=<bound>:<count>` pairs separated by '|'.
+  /// `# sample_seq=<n> sim_time_s=<t>` stamp line, the header, then
+  /// `name,kind,value,count,sum,buckets` rows — histogram buckets
+  /// flattened as `le=<bound>:<count>` pairs separated by '|'.
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;
 };
@@ -107,7 +115,13 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t size() const noexcept {
     return instruments_.size();
   }
+  /// Captures all instruments, stamped with the next sample_seq and the
+  /// last set_sim_time() value.
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Sets the simulation-time stamp carried by subsequent snapshots (the
+  /// experiment runner calls this at measurement end).
+  void set_sim_time(double t) noexcept { sim_time_s_ = t; }
 
  private:
   struct Instrument {
@@ -120,6 +134,10 @@ class MetricsRegistry {
                     InstrumentKind kind);
 
   std::map<std::string, Instrument> instruments_;
+  double sim_time_s_ = 0;
+  /// Snapshots taken so far; mutable because snapshot() is logically a
+  /// read yet must hand out distinct sequence numbers.
+  mutable std::uint64_t next_sample_seq_ = 0;
 };
 
 }  // namespace easched::obs

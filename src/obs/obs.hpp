@@ -25,6 +25,7 @@
 #include "obs/attribution/energy_ledger.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "obs/trace.hpp"
 
 #ifndef EASCHED_TRACE_ENABLED
@@ -42,6 +43,7 @@ struct Observability {
   PhaseProfiler profiler;
   EnergyLedger ledger;
   DecisionLog decisions;
+  TelemetryPlane telemetry;
 };
 
 #if EASCHED_TRACE_ENABLED
@@ -73,7 +75,29 @@ struct Observability {
   return (o != nullptr && o->decisions.enabled()) ? &o->decisions : nullptr;
 }
 
-#else  // instrumentation compiled out: accessors fold to constant nullptr
+#endif  // EASCHED_TRACE_ENABLED
+
+#if EASCHED_TELEMETRY_ENABLED
+
+/// The run's telemetry plane, or nullptr when absent or not enabled. Gated
+/// by its own EASCHED_TELEMETRY option (mirroring EASCHED_TRACE) so the
+/// sampling periodic and every capture call site compile out with it.
+[[nodiscard]] inline TelemetryPlane* telemetry(
+    const metrics::Recorder& rec) noexcept {
+  Observability* o = rec.obs;
+  return (o != nullptr && o->telemetry.enabled()) ? &o->telemetry : nullptr;
+}
+
+#else  // telemetry compiled out: accessor folds to constant nullptr
+
+[[nodiscard]] constexpr TelemetryPlane* telemetry(
+    const metrics::Recorder&) noexcept {
+  return nullptr;
+}
+
+#endif  // EASCHED_TELEMETRY_ENABLED
+
+#if !EASCHED_TRACE_ENABLED  // accessors fold to constant nullptr
 
 [[nodiscard]] constexpr Tracer* tracer(const metrics::Recorder&) noexcept {
   return nullptr;

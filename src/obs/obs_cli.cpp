@@ -3,8 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
 
 #include "obs/attribution/run_summary.hpp"
+#include "obs/telemetry/dashboard.hpp"
 #include "support/cli.hpp"
 
 namespace easched::obs {
@@ -17,6 +21,23 @@ ObsOptions options_from_cli(const support::CliArgs& args) {
   opts.summary_path = args.get("summary-out", "");
   opts.attribution = args.get_bool("attribution", false);
   opts.profile = args.get_bool("profile", false);
+  opts.telemetry_path = args.get("telemetry-out", "");
+  opts.prom_path = args.get("prom-out", "");
+  opts.alerts_spec = args.get("alerts", "");
+  opts.live = args.get_bool("live", false);
+  opts.telemetry_period_s = args.get_double("telemetry-period", 60);
+  opts.telemetry_ring =
+      static_cast<std::size_t>(args.get_int("telemetry-ring", 4096));
+  for (const char* flag : {"telemetry-out", "prom-out", "alerts"}) {
+    if (args.get(flag, "") == "true") {  // bare flag with no value
+      std::fprintf(stderr, "easched: --%s requires a value\n", flag);
+      std::exit(2);
+    }
+  }
+  if (opts.telemetry_period_s <= 0) {
+    std::fprintf(stderr, "easched: --telemetry-period must be > 0\n");
+    std::exit(2);
+  }
   if (opts.summary_path == "true") {  // bare `--summary-out` with no path
     std::fprintf(
         stderr,
@@ -36,9 +57,19 @@ ObsOptions options_from_cli(const support::CliArgs& args) {
   return opts;
 }
 
+namespace {
+
+bool wants_telemetry(const ObsOptions& opts) {
+  return !opts.telemetry_path.empty() || !opts.prom_path.empty() ||
+         !opts.alerts_spec.empty() || opts.live;
+}
+
+}  // namespace
+
 bool wants_observability(const ObsOptions& opts) {
   return !opts.trace_path.empty() || !opts.metrics_path.empty() ||
-         !opts.summary_path.empty() || opts.attribution || opts.profile;
+         !opts.summary_path.empty() || opts.attribution || opts.profile ||
+         wants_telemetry(opts);
 }
 
 void configure(Observability& o, const ObsOptions& opts) {
@@ -49,6 +80,40 @@ void configure(Observability& o, const ObsOptions& opts) {
   if (opts.attribution || !opts.summary_path.empty()) {
     o.ledger.enable();
     o.decisions.enable();
+  }
+  if (wants_telemetry(opts)) {
+#if !EASCHED_TELEMETRY_ENABLED
+    std::fprintf(stderr,
+                 "easched: warning: telemetry flags given but the build has "
+                 "EASCHED_TELEMETRY=OFF; no samples will be taken\n");
+#endif
+    TelemetryConfig tc;
+    tc.period_s = opts.telemetry_period_s;
+    tc.ring_capacity = opts.telemetry_ring;
+    o.telemetry.enable(tc);
+    if (!opts.telemetry_path.empty()) {
+      auto sink = std::make_unique<JsonlSink>(opts.telemetry_path);
+      if (!sink->ok()) {
+        std::fprintf(stderr, "easched: cannot write '%s'\n",
+                     opts.telemetry_path.c_str());
+        std::exit(1);
+      }
+      o.telemetry.add_sink(std::move(sink));
+    }
+    if (!opts.prom_path.empty()) {
+      o.telemetry.add_sink(std::make_unique<PromSink>(opts.prom_path));
+    }
+    if (opts.live) {
+      o.telemetry.add_sink(std::make_unique<DashboardSink>(std::cout));
+    }
+    if (!opts.alerts_spec.empty()) {
+      try {
+        o.telemetry.set_alert_rules(parse_alert_rules(opts.alerts_spec));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "easched: %s\n", e.what());
+        std::exit(2);
+      }
+    }
   }
 }
 
@@ -101,6 +166,19 @@ void finish(Observability& o, const ObsOptions& opts,
     } else {
       std::exit(1);
     }
+  }
+  if (!opts.telemetry_path.empty()) {
+    std::printf("telemetry: %llu samples -> %s\n",
+                static_cast<unsigned long long>(o.telemetry.samples_taken()),
+                opts.telemetry_path.c_str());
+  }
+  if (!opts.prom_path.empty()) {
+    std::printf("telemetry: latest exposition -> %s\n",
+                opts.prom_path.c_str());
+  }
+  if (o.telemetry.alerts().enabled()) {
+    const std::string log = o.telemetry.alerts().log_to_string();
+    std::printf("alerts: %s\n", log.empty() ? "none fired" : log.c_str());
   }
   if (opts.profile) {
     const std::string table = o.profiler.to_string();

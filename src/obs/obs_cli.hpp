@@ -1,10 +1,12 @@
 // CLI wiring shared by the example binaries: parses the observability
 // flags (`--trace=<path>`, `--trace-format=jsonl|chrome`,
 // `--metrics-out=<path>`, `--summary-out=<path>`, `--attribution`,
-// `--profile`), enables the matching components on an Observability
-// bundle, and writes the requested files when the run ends. Keeping this
-// in one place means every example exposes the same flags with the same
-// semantics.
+// `--profile`) and the live-telemetry flags (`--telemetry-out=<path>`,
+// `--prom-out=<path>`, `--alerts=<spec>`, `--live`,
+// `--telemetry-period=<s>`, `--telemetry-ring=<n>`), enables the matching
+// components on an Observability bundle, and writes the requested files
+// when the run ends. Keeping this in one place means every example
+// exposes the same flags with the same semantics.
 #pragma once
 
 #include <string>
@@ -27,6 +29,15 @@ struct ObsOptions {
   std::string summary_path;  ///< empty = no run_summary.json requested
   bool attribution = false;  ///< energy ledger + decision log on
   bool profile = false;      ///< print the phase-profiling rollup table
+
+  // Live telemetry (see obs/telemetry/): any of these switches the
+  // sampling periodic on.
+  std::string telemetry_path;  ///< --telemetry-out= JSONL time series
+  std::string prom_path;       ///< --prom-out= Prometheus exposition file
+  std::string alerts_spec;     ///< --alerts= rule spec (inline or file)
+  bool live = false;           ///< --live terminal dashboard
+  double telemetry_period_s = 60;   ///< --telemetry-period= sim seconds
+  std::size_t telemetry_ring = 4096;  ///< --telemetry-ring= snapshots
 };
 
 /// Reads the observability flags from parsed CLI args. Exits with an error

@@ -1,0 +1,348 @@
+#include "obs/telemetry/alerts.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "obs/telemetry/telemetry.hpp"
+
+namespace easched::obs {
+
+const char* series_name(AlertSeries series) noexcept {
+  switch (series) {
+    case AlertSeries::kPowerW:          return "power_w";
+    case AlertSeries::kEnergyKwh:       return "energy_kwh";
+    case AlertSeries::kSlaSatisfaction: return "sla_satisfaction";
+    case AlertSeries::kQueueDepth:      return "queue_depth";
+    case AlertSeries::kBackoff:         return "backoff";
+    case AlertSeries::kJobsRunning:     return "jobs_running";
+    case AlertSeries::kJobsDeferred:    return "jobs_deferred";
+    case AlertSeries::kJobsShed:        return "jobs_shed";
+    case AlertSeries::kWorkingRatio:    return "working_ratio";
+    case AlertSeries::kHostsOnline:     return "hosts_online";
+    case AlertSeries::kHostsWorking:    return "hosts_working";
+    case AlertSeries::kHostsFailed:     return "hosts_failed";
+    case AlertSeries::kLadderRung:      return "ladder_rung";
+    case AlertSeries::kBreakerOpenRate: return "breaker_open_rate";
+  }
+  return "?";
+}
+
+double series_value(const TelemetrySnapshot& snap,
+                    AlertSeries series) noexcept {
+  switch (series) {
+    case AlertSeries::kPowerW:          return snap.power_w;
+    case AlertSeries::kEnergyKwh:       return snap.energy_kwh;
+    case AlertSeries::kSlaSatisfaction: return snap.sla;
+    case AlertSeries::kQueueDepth:
+      return static_cast<double>(snap.queue);
+    case AlertSeries::kBackoff:
+      return static_cast<double>(snap.backoff);
+    case AlertSeries::kJobsRunning:
+      return static_cast<double>(snap.running);
+    case AlertSeries::kJobsDeferred:
+      return static_cast<double>(snap.deferred);
+    case AlertSeries::kJobsShed:
+      return static_cast<double>(snap.shed);
+    case AlertSeries::kWorkingRatio:    return snap.ratio;
+    case AlertSeries::kHostsOnline:     return snap.online;
+    case AlertSeries::kHostsWorking:    return snap.working;
+    case AlertSeries::kHostsFailed:     return snap.hosts_failed;
+    case AlertSeries::kLadderRung:      return snap.rung;
+    case AlertSeries::kBreakerOpenRate:
+      return snap.hosts.empty()
+                 ? 0.0
+                 : static_cast<double>(snap.breakers_open) /
+                       static_cast<double>(snap.hosts.size());
+  }
+  return 0;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool parse_series(const std::string& name, AlertSeries* out) {
+  for (int i = 0; i <= static_cast<int>(AlertSeries::kBreakerOpenRate); ++i) {
+    const auto s = static_cast<AlertSeries>(i);
+    if (name == series_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+double parse_value(const std::string& text, const std::string& rule) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  std::string rest = end != nullptr ? trim(end) : "";
+  // Burn multipliers read naturally as "2x".
+  if (rest == "x") rest.clear();
+  if (end == text.c_str() || !rest.empty()) {
+    throw std::invalid_argument("alert rule '" + rule +
+                                "': malformed number '" + text + "'");
+  }
+  return v;
+}
+
+AlertRule parse_one_rule(const std::string& text) {
+  const std::string rule = trim(text);
+  const std::size_t cmp = rule.find_first_of("<>");
+  if (cmp == std::string::npos || cmp == 0) {
+    throw std::invalid_argument("alert rule '" + rule +
+                                "': expected '<series> > <bound>'");
+  }
+
+  AlertRule out;
+  out.name = rule;
+  out.above = rule[cmp] == '>';
+
+  // Left of the comparator: the series name, optionally followed by a rule
+  // kind keyword ("queue_depth rate", "sla_satisfaction burn").
+  std::istringstream lhs(rule.substr(0, cmp));
+  std::string series_tok;
+  std::string kind_tok;
+  lhs >> series_tok >> kind_tok;
+  if (!parse_series(series_tok, &out.series)) {
+    throw std::invalid_argument("alert rule '" + rule +
+                                "': unknown series '" + series_tok + "'");
+  }
+  if (kind_tok == "rate") {
+    out.kind = AlertKind::kRate;
+  } else if (kind_tok == "burn") {
+    out.kind = AlertKind::kBurn;
+  } else if (!kind_tok.empty()) {
+    throw std::invalid_argument("alert rule '" + rule +
+                                "': unknown rule kind '" + kind_tok + "'");
+  }
+
+  // Right of the comparator: the bound, then key=value options.
+  std::istringstream rhs(rule.substr(cmp + 1));
+  std::string tok;
+  if (!(rhs >> tok)) {
+    throw std::invalid_argument("alert rule '" + rule + "': missing bound");
+  }
+  out.bound = parse_value(tok, rule);
+  while (rhs >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("alert rule '" + rule +
+                                  "': expected key=value, got '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "for") {
+      out.for_s = parse_value(value, rule);
+    } else if (key == "window") {
+      out.window_s = parse_value(value, rule);
+    } else if (key == "resolve") {
+      out.resolve = parse_value(value, rule);
+      out.has_resolve = true;
+    } else if (key == "slo") {
+      out.slo = parse_value(value, rule);
+    } else if (key == "budget") {
+      out.budget = parse_value(value, rule);
+    } else if (key == "name") {
+      out.name = value;
+    } else {
+      throw std::invalid_argument("alert rule '" + rule +
+                                  "': unknown option '" + key + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AlertRule> parse_alert_rules(const std::string& spec) {
+  std::vector<std::string> rule_texts;
+  if (spec.find_first_of("<>") == std::string::npos) {
+    // No comparator anywhere: a file path, one rule per line.
+    std::ifstream in(spec);
+    if (!in.is_open()) {
+      throw std::invalid_argument("alerts: cannot open spec file '" + spec +
+                                  "'");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      line = trim(line);
+      if (!line.empty()) rule_texts.push_back(line);
+    }
+  } else {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string piece = trim(
+          spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start));
+      if (!piece.empty()) rule_texts.push_back(piece);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  std::vector<AlertRule> rules;
+  rules.reserve(rule_texts.size());
+  for (const std::string& text : rule_texts) {
+    rules.push_back(parse_one_rule(text));
+  }
+  return rules;
+}
+
+// ---- AlertEngine -----------------------------------------------------------
+
+void AlertEngine::configure(std::vector<AlertRule> rules) {
+  rules_ = std::move(rules);
+  states_.assign(rules_.size(), RuleState{});
+  log_.clear();
+}
+
+double AlertEngine::signal(const AlertRule& rule,
+                           const TelemetrySnapshot& snap,
+                           const SnapshotRing& history) const {
+  switch (rule.kind) {
+    case AlertKind::kThreshold:
+      return series_value(snap, rule.series);
+    case AlertKind::kRate: {
+      // Slope over the trailing window: newest sample vs the oldest
+      // retained one inside it. One sample (or an evicted window) → 0.
+      const double cutoff = snap.t - rule.window_s;
+      for (std::size_t i = 0; i < history.size(); ++i) {
+        const TelemetrySnapshot& old = history.at(i);
+        if (old.t < cutoff) continue;
+        const double dt = snap.t - old.t;
+        if (dt <= 0) return 0;
+        return (series_value(snap, rule.series) -
+                series_value(old, rule.series)) /
+               dt;
+      }
+      return 0;
+    }
+    case AlertKind::kBurn: {
+      // Mean shortfall below the SLO target over the trailing window,
+      // normalised by the sustainable shortfall (the error budget).
+      if (rule.budget <= 0) return 0;
+      const double cutoff = snap.t - rule.window_s;
+      double shortfall = 0;
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < history.size(); ++i) {
+        const TelemetrySnapshot& old = history.at(i);
+        if (old.t < cutoff) continue;
+        shortfall += std::max(0.0, rule.slo - series_value(old, rule.series));
+        ++n;
+      }
+      shortfall += std::max(0.0, rule.slo - series_value(snap, rule.series));
+      ++n;
+      return shortfall / static_cast<double>(n) / rule.budget;
+    }
+  }
+  return 0;
+}
+
+std::vector<std::string> AlertEngine::evaluate(
+    const TelemetrySnapshot& snap, const SnapshotRing& history,
+    const metrics::Recorder* recorder) {
+  std::vector<std::string> active;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    RuleState& st = states_[i];
+    const double value = signal(rule, snap, history);
+    const bool breaching = rule.above ? value > rule.bound
+                                      : value < rule.bound;
+
+    if (!st.active) {
+      if (breaching) {
+        if (!st.breaching) st.breach_since = snap.t;
+        st.breaching = true;
+        // >= at the boundary: with for=300 and a 60 s cadence the rule
+        // fires on the sample exactly 300 s after the first breaching one.
+        if (snap.t - st.breach_since >= rule.for_s) {
+          st.active = true;
+          st.open_log_index = log_.size();
+          log_.push_back(AlertFiring{rule.name, snap.t, -1});
+          if (recorder != nullptr) {
+            if (auto* tr = obs::tracer(*recorder)) {
+              tr->emit(snap.t, EventKind::kAlertFire)
+                  .arg("value", value)
+                  .arg("bound", rule.bound)
+                  .label = rule.name;
+            }
+            if (recorder->obs != nullptr) {
+              recorder->obs->registry.counter("alerts.fired").inc();
+            }
+          }
+        }
+      } else {
+        st.breaching = false;
+      }
+    } else {
+      // Hysteresis: the episode only ends once the signal is back on the
+      // good side of the resolve level (default: the firing bound).
+      const double level = rule.has_resolve ? rule.resolve : rule.bound;
+      const bool resolved = rule.above ? value <= level : value >= level;
+      if (resolved) {
+        st.active = false;
+        st.breaching = false;
+        log_[st.open_log_index].resolved_t = snap.t;
+        if (recorder != nullptr) {
+          if (auto* tr = obs::tracer(*recorder)) {
+            tr->emit(snap.t, EventKind::kAlertResolve)
+                .arg("value", value)
+                .arg("fired_t", log_[st.open_log_index].fired_t)
+                .label = rule.name;
+          }
+          if (recorder->obs != nullptr) {
+            recorder->obs->registry.counter("alerts.resolved").inc();
+          }
+        }
+      }
+    }
+    if (st.active) active.push_back(rule.name);
+  }
+  return active;
+}
+
+std::size_t AlertEngine::active_count() const noexcept {
+  std::size_t n = 0;
+  for (const RuleState& st : states_) {
+    if (st.active) ++n;
+  }
+  return n;
+}
+
+bool AlertEngine::is_active(std::size_t rule_index) const {
+  return states_.at(rule_index).active;
+}
+
+std::string AlertEngine::log_to_string() const {
+  std::string out;
+  char buf[96];
+  for (const AlertFiring& f : log_) {
+    if (!out.empty()) out += "; ";
+    out += f.rule;
+    if (f.resolved_t >= 0) {
+      std::snprintf(buf, sizeof(buf), " fired@%.9g resolved@%.9g", f.fired_t,
+                    f.resolved_t);
+    } else {
+      std::snprintf(buf, sizeof(buf), " fired@%.9g (active)", f.fired_t);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,175 @@
+#include "obs/telemetry/dashboard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "resilience/health.hpp"
+#include "sim/time.hpp"
+
+namespace easched::obs {
+
+namespace {
+
+// Eight block elements, lowest to highest fill.
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+std::string format_sim_time(sim::SimTime t) {
+  const long long total = static_cast<long long>(t);
+  const long long days = total / static_cast<long long>(sim::kDay);
+  const long long rem = total % static_cast<long long>(sim::kDay);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lldd %02lld:%02lld:%02lld", days,
+                rem / 3600, (rem % 3600) / 60, rem % 60);
+  return buf;
+}
+
+/// Reads one series out of the tail of the ring for a sparkline.
+std::vector<double> tail_series(const SnapshotRing& ring, std::size_t width,
+                                double (*get)(const TelemetrySnapshot&)) {
+  const std::size_t n = ring.size();
+  const std::size_t take = n < width ? n : width;
+  std::vector<double> out;
+  out.reserve(take);
+  for (std::size_t i = n - take; i < n; ++i) out.push_back(get(ring.at(i)));
+  return out;
+}
+
+}  // namespace
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  if (values.empty() || width == 0) return "";
+  const std::size_t take = values.size() < width ? values.size() : width;
+  const std::size_t first = values.size() - take;
+  double lo = values[first];
+  double hi = values[first];
+  for (std::size_t i = first; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (std::size_t i = first; i < values.size(); ++i) {
+    int level = 3;  // flat series render mid-height
+    if (hi > lo) {
+      level = static_cast<int>((values[i] - lo) / (hi - lo) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+void render_dashboard(std::ostream& os, const SnapshotRing& ring,
+                      const DashboardOptions& options) {
+  if (ring.empty()) return;
+  const TelemetrySnapshot& now = ring.latest();
+  const std::size_t w = options.spark_width;
+  char buf[256];
+
+  if (options.ansi) os << "\x1b[H\x1b[2J";
+
+  os << "easched live telemetry — t=" << format_sim_time(now.t)
+     << "  (sample " << now.seq << ")\n";
+
+  std::snprintf(buf, sizeof(buf),
+                " hosts   on %d  booting %d  off %d  failed %d   "
+                "working/online %.2f  [λ %.2f–%.2f]\n",
+                now.hosts_on, now.hosts_booting, now.hosts_off,
+                now.hosts_failed, now.ratio, now.lambda_min, now.lambda_max);
+  os << buf;
+
+  std::snprintf(buf, sizeof(buf), " power   %8.1f W   ", now.power_w);
+  os << buf
+     << sparkline(tail_series(ring, w,
+                              [](const TelemetrySnapshot& s) {
+                                return s.power_w;
+                              }),
+                  w);
+  std::snprintf(buf, sizeof(buf), "   energy %.2f kWh\n", now.energy_kwh);
+  os << buf;
+
+  std::snprintf(buf, sizeof(buf), " sla     %7.2f %%   ", now.sla);
+  os << buf
+     << sparkline(tail_series(ring, w,
+                              [](const TelemetrySnapshot& s) {
+                                return s.sla;
+                              }),
+                  w)
+     << '\n';
+
+  std::snprintf(buf, sizeof(buf), " queue   %8zu     ", now.queue);
+  os << buf
+     << sparkline(tail_series(ring, w,
+                              [](const TelemetrySnapshot& s) {
+                                return static_cast<double>(s.queue);
+                              }),
+                  w);
+  std::snprintf(buf, sizeof(buf),
+                "   backoff %zu  running %zu  deferred %llu  shed %llu\n",
+                now.backoff, now.running,
+                static_cast<unsigned long long>(now.deferred),
+                static_cast<unsigned long long>(now.shed));
+  os << buf;
+
+  os << " fleet   ";
+  os << sparkline(tail_series(ring, w,
+                              [](const TelemetrySnapshot& s) {
+                                return static_cast<double>(s.working);
+                              }),
+                  w)
+     << "  (working hosts)\n";
+
+  // Degradation-rung banner: loud when degraded, quiet at full service.
+  if (now.rung > 0 || now.breakers_open > 0) {
+    const char* rung_name = resilience::to_string(
+        static_cast<resilience::LadderLevel>(now.rung));
+    os << (options.ansi ? "\x1b[1;33m" : "") << " DEGRADED  rung " << now.rung
+       << " (" << rung_name << ")  breakers open: " << now.breakers_open
+       << (options.ansi ? "\x1b[0m" : "") << '\n';
+  } else {
+    os << " rung 0 (full service)  breakers open: 0\n";
+  }
+
+  if (!now.active_alerts.empty()) {
+    os << (options.ansi ? "\x1b[1;31m" : "") << " ALERTS ";
+    for (std::size_t i = 0; i < now.active_alerts.size(); ++i) {
+      os << (i > 0 ? ", " : "") << now.active_alerts[i];
+    }
+    os << (options.ansi ? "\x1b[0m" : "") << '\n';
+  } else {
+    os << " alerts  none\n";
+  }
+  os.flush();
+}
+
+DashboardSink::DashboardSink(std::ostream& os, DashboardOptions options,
+                             int min_wall_ms)
+    : os_(os),
+      options_(options),
+      min_wall_ms_(min_wall_ms),
+      ring_(options.spark_width < 8 ? 8 : options.spark_width) {}
+
+void DashboardSink::on_sample(const TelemetrySnapshot& snap) {
+  ring_.push(snap);
+  // Wall-clock throttle — display cadence only; the sampled data is
+  // untouched, so determinism is unaffected.
+  const long long now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  if (last_paint_ms_ >= 0 && min_wall_ms_ > 0 &&
+      now_ms - last_paint_ms_ < min_wall_ms_) {
+    return;
+  }
+  last_paint_ms_ = now_ms;
+  render_dashboard(os_, ring_, options_);
+}
+
+void DashboardSink::finish() {
+  render_dashboard(os_, ring_, options_);  // final frame always lands
+}
+
+}  // namespace easched::obs

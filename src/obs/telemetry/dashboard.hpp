@@ -1,0 +1,62 @@
+// Terminal dashboard over the live telemetry ring.
+//
+// Renders the most recent snapshots as a compact ANSI panel: fleet state,
+// power/SLA/queue sparklines, the degradation-rung banner and the active
+// alert list. Used two ways:
+//
+//   * `--live` on the example CLIs attaches a DashboardSink to the
+//     TelemetryPlane, repainting in place as the simulation runs.
+//   * `watch_tool` replays or follows a `--telemetry-out=` JSONL file and
+//     feeds the same renderer, so the offline view is pixel-identical.
+//
+// Rendering is display-only: the sink never touches simulation state, and
+// wall-clock throttling only affects how often the panel repaints — the
+// sampled data, traces and JSONL bytes stay byte-identical with or without
+// a dashboard attached.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/telemetry.hpp"
+
+namespace easched::obs {
+
+/// Unicode block-element sparkline (▁▂▃▄▅▆▇█) of `values`, scaled to the
+/// observed min/max; constant series render as a flat mid row. Empty input
+/// yields an empty string.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values,
+                                    std::size_t width = 32);
+
+struct DashboardOptions {
+  std::size_t spark_width = 32;  ///< sparkline columns
+  bool ansi = true;              ///< repaint in place with ANSI escapes
+};
+
+/// Paints one frame of the dashboard from the ring's retained history (the
+/// newest snapshot is the headline; sparklines read the whole ring tail).
+/// No-op on an empty ring.
+void render_dashboard(std::ostream& os, const SnapshotRing& ring,
+                      const DashboardOptions& options = {});
+
+/// TelemetrySink that repaints the dashboard on an ostream. `min_wall_ms`
+/// rate-limits repaints by wall clock so a fast simulation does not flood
+/// the terminal (0 = repaint on every sample).
+class DashboardSink : public TelemetrySink {
+ public:
+  DashboardSink(std::ostream& os, DashboardOptions options = {},
+                int min_wall_ms = 100);
+
+  void on_sample(const TelemetrySnapshot& snap) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+  DashboardOptions options_;
+  int min_wall_ms_;
+  SnapshotRing ring_;
+  long long last_paint_ms_ = -1;
+};
+
+}  // namespace easched::obs

@@ -1,0 +1,486 @@
+#include "obs/telemetry/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "datacenter/datacenter.hpp"
+#include "obs/obs.hpp"
+#include "resilience/resilience.hpp"
+#include "sched/driver.hpp"
+
+namespace easched::obs {
+
+namespace {
+
+/// Repo-wide deterministic double rendering (%.9g, like the trace and
+/// run_summary writers) — round-trips every value telemetry carries.
+void put_num(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void write_snapshot_jsonl(std::ostream& os, const TelemetrySnapshot& snap) {
+  os << "{\"seq\":" << snap.seq << ",\"t\":";
+  put_num(os, snap.t);
+  os << ",\"on\":" << snap.hosts_on << ",\"booting\":" << snap.hosts_booting
+     << ",\"off\":" << snap.hosts_off << ",\"failed\":" << snap.hosts_failed
+     << ",\"working\":" << snap.working << ",\"online\":" << snap.online
+     << ",\"ratio\":";
+  put_num(os, snap.ratio);
+  os << ",\"lmin\":";
+  put_num(os, snap.lambda_min);
+  os << ",\"lmax\":";
+  put_num(os, snap.lambda_max);
+  os << ",\"power_w\":";
+  put_num(os, snap.power_w);
+  os << ",\"kwh\":";
+  put_num(os, snap.energy_kwh);
+  os << ",\"queue\":" << snap.queue << ",\"backoff\":" << snap.backoff
+     << ",\"running\":" << snap.running << ",\"deferred\":" << snap.deferred
+     << ",\"shed\":" << snap.shed << ",\"sla\":";
+  put_num(os, snap.sla);
+  os << ",\"rung\":" << snap.rung
+     << ",\"breakers_open\":" << snap.breakers_open << ",\"alerts\":[";
+  for (std::size_t i = 0; i < snap.active_alerts.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"';
+    // Rule names come from the spec parser, which rejects quotes/backslashes,
+    // so plain escaping of the two JSON-hostile characters suffices.
+    for (char c : snap.active_alerts[i]) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  }
+  os << "],\"hosts\":[";
+  for (std::size_t i = 0; i < snap.hosts.size(); ++i) {
+    const HostSample& h = snap.hosts[i];
+    if (i > 0) os << ',';
+    os << '[' << static_cast<int>(h.state) << ','
+       << static_cast<int>(h.health) << ',';
+    put_num(os, h.util_pct);
+    os << ',';
+    put_num(os, h.power_w);
+    os << ']';
+  }
+  os << "]}";
+}
+
+namespace {
+
+/// Minimal field extraction for the writer's own fixed schema; not a
+/// general JSON parser.
+bool find_field(const std::string& line, const char* key, std::size_t* pos) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *pos = at + needle.size();
+  return true;
+}
+
+bool read_num(const std::string& line, const char* key, double* out) {
+  std::size_t pos = 0;
+  if (!find_field(line, key, &pos)) return false;
+  *out = std::strtod(line.c_str() + pos, nullptr);
+  return true;
+}
+
+}  // namespace
+
+bool parse_snapshot_jsonl(const std::string& line, TelemetrySnapshot* out) {
+  if (out == nullptr || line.empty() || line[0] != '{') return false;
+  TelemetrySnapshot snap;
+  double v = 0;
+  if (!read_num(line, "seq", &v)) return false;
+  snap.seq = static_cast<std::uint64_t>(v);
+  if (!read_num(line, "t", &snap.t)) return false;
+  if (!read_num(line, "on", &v)) return false;
+  snap.hosts_on = static_cast<int>(v);
+  if (!read_num(line, "booting", &v)) return false;
+  snap.hosts_booting = static_cast<int>(v);
+  if (!read_num(line, "off", &v)) return false;
+  snap.hosts_off = static_cast<int>(v);
+  if (!read_num(line, "failed", &v)) return false;
+  snap.hosts_failed = static_cast<int>(v);
+  if (!read_num(line, "working", &v)) return false;
+  snap.working = static_cast<int>(v);
+  if (!read_num(line, "online", &v)) return false;
+  snap.online = static_cast<int>(v);
+  if (!read_num(line, "ratio", &snap.ratio)) return false;
+  if (!read_num(line, "lmin", &snap.lambda_min)) return false;
+  if (!read_num(line, "lmax", &snap.lambda_max)) return false;
+  if (!read_num(line, "power_w", &snap.power_w)) return false;
+  if (!read_num(line, "kwh", &snap.energy_kwh)) return false;
+  if (!read_num(line, "queue", &v)) return false;
+  snap.queue = static_cast<std::size_t>(v);
+  if (!read_num(line, "backoff", &v)) return false;
+  snap.backoff = static_cast<std::size_t>(v);
+  if (!read_num(line, "running", &v)) return false;
+  snap.running = static_cast<std::size_t>(v);
+  if (!read_num(line, "deferred", &v)) return false;
+  snap.deferred = static_cast<std::uint64_t>(v);
+  if (!read_num(line, "shed", &v)) return false;
+  snap.shed = static_cast<std::uint64_t>(v);
+  if (!read_num(line, "sla", &snap.sla)) return false;
+  if (!read_num(line, "rung", &v)) return false;
+  snap.rung = static_cast<int>(v);
+  if (!read_num(line, "breakers_open", &v)) return false;
+  snap.breakers_open = static_cast<std::size_t>(v);
+
+  std::size_t pos = 0;
+  if (!find_field(line, "alerts", &pos) || line[pos] != '[') return false;
+  ++pos;
+  while (pos < line.size() && line[pos] != ']') {
+    if (line[pos] == '"') {
+      std::string name;
+      ++pos;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+        name += line[pos++];
+      }
+      snap.active_alerts.push_back(std::move(name));
+    }
+    ++pos;
+  }
+
+  if (!find_field(line, "hosts", &pos) || line[pos] != '[') return false;
+  ++pos;
+  while (pos < line.size() && line[pos] != ']') {
+    if (line[pos] == '[') {
+      ++pos;
+      HostSample h;
+      char* end = nullptr;
+      const char* p = line.c_str() + pos;
+      h.state = static_cast<std::uint8_t>(std::strtod(p, &end));
+      p = end + 1;  // skip ','
+      h.health = static_cast<std::uint8_t>(std::strtod(p, &end));
+      p = end + 1;
+      h.util_pct = static_cast<float>(std::strtod(p, &end));
+      p = end + 1;
+      h.power_w = static_cast<float>(std::strtod(p, &end));
+      pos = static_cast<std::size_t>(end - line.c_str());
+      snap.hosts.push_back(h);
+      while (pos < line.size() && line[pos] != ']') ++pos;  // tuple close
+      ++pos;
+    } else {
+      ++pos;
+    }
+  }
+
+  *out = std::move(snap);
+  return true;
+}
+
+namespace {
+
+void prom_family(std::ostream& os, const char* name, const char* help,
+                 const char* type) {
+  os << "# HELP " << name << ' ' << help << "\n# TYPE " << name << ' '
+     << type << '\n';
+}
+
+void prom_value(std::ostream& os, const char* name, double v,
+                const std::string& labels = "") {
+  os << name;
+  if (!labels.empty()) os << '{' << labels << '}';
+  os << ' ';
+  put_num(os, v);
+  os << '\n';
+}
+
+}  // namespace
+
+void write_snapshot_prom(std::ostream& os, const TelemetrySnapshot& snap) {
+  prom_family(os, "easched_sample_seq", "Telemetry sample sequence number",
+              "counter");
+  prom_value(os, "easched_sample_seq", static_cast<double>(snap.seq));
+  prom_family(os, "easched_sim_time_seconds", "Simulation clock", "gauge");
+  prom_value(os, "easched_sim_time_seconds", snap.t);
+
+  prom_family(os, "easched_hosts", "Hosts by power state", "gauge");
+  prom_value(os, "easched_hosts", snap.hosts_on, "state=\"on\"");
+  prom_value(os, "easched_hosts", snap.hosts_booting, "state=\"booting\"");
+  prom_value(os, "easched_hosts", snap.hosts_off, "state=\"off\"");
+  prom_value(os, "easched_hosts", snap.hosts_failed, "state=\"failed\"");
+  prom_family(os, "easched_hosts_working",
+              "Hosts executing at least one VM or operation", "gauge");
+  prom_value(os, "easched_hosts_working", snap.working);
+  prom_family(os, "easched_hosts_online", "Hosts on or booting", "gauge");
+  prom_value(os, "easched_hosts_online", snap.online);
+  prom_family(os, "easched_working_ratio",
+              "Working/online host ratio (the paper's control signal)",
+              "gauge");
+  prom_value(os, "easched_working_ratio", snap.ratio);
+  prom_family(os, "easched_lambda_min", "Power controller lower threshold",
+              "gauge");
+  prom_value(os, "easched_lambda_min", snap.lambda_min);
+  prom_family(os, "easched_lambda_max", "Power controller upper threshold",
+              "gauge");
+  prom_value(os, "easched_lambda_max", snap.lambda_max);
+
+  prom_family(os, "easched_power_watts", "Fleet electrical draw", "gauge");
+  prom_value(os, "easched_power_watts", snap.power_w);
+  prom_family(os, "easched_energy_kwh_total",
+              "Cumulative energy since simulation start", "counter");
+  prom_value(os, "easched_energy_kwh_total", snap.energy_kwh);
+
+  prom_family(os, "easched_queue_depth", "Pending (unallocated) VMs",
+              "gauge");
+  prom_value(os, "easched_queue_depth", static_cast<double>(snap.queue));
+  prom_family(os, "easched_backoff", "VMs serving a post-failure backoff",
+              "gauge");
+  prom_value(os, "easched_backoff", static_cast<double>(snap.backoff));
+  prom_family(os, "easched_jobs_running", "VMs currently placed", "gauge");
+  prom_value(os, "easched_jobs_running", static_cast<double>(snap.running));
+  prom_family(os, "easched_jobs_deferred_total",
+              "Arrivals deferred by admission control", "counter");
+  prom_value(os, "easched_jobs_deferred_total",
+             static_cast<double>(snap.deferred));
+  prom_family(os, "easched_jobs_shed_total",
+              "Arrivals shed by admission control", "counter");
+  prom_value(os, "easched_jobs_shed_total", static_cast<double>(snap.shed));
+  prom_family(os, "easched_sla_satisfaction",
+              "Mean satisfaction of finished jobs", "gauge");
+  prom_value(os, "easched_sla_satisfaction", snap.sla);
+
+  prom_family(os, "easched_degradation_rung",
+              "Resilience degradation-ladder level (0 = full)", "gauge");
+  prom_value(os, "easched_degradation_rung", snap.rung);
+  prom_family(os, "easched_breakers_open",
+              "Host circuit breakers currently not healthy", "gauge");
+  prom_value(os, "easched_breakers_open",
+             static_cast<double>(snap.breakers_open));
+
+  prom_family(os, "easched_alert_active", "Alert rules currently firing",
+              "gauge");
+  for (const std::string& name : snap.active_alerts) {
+    std::string label = "rule=\"";
+    for (char c : name) {
+      if (c == '"' || c == '\\') label += '\\';
+      label += c;
+    }
+    label += '"';
+    prom_value(os, "easched_alert_active", 1, label);
+  }
+
+  prom_family(os, "easched_host_state",
+              "Per-host power state (datacenter::HostState value)", "gauge");
+  for (std::size_t h = 0; h < snap.hosts.size(); ++h) {
+    prom_value(os, "easched_host_state", snap.hosts[h].state,
+               "host=\"" + std::to_string(h) + "\"");
+  }
+  prom_family(os, "easched_host_health",
+              "Per-host breaker health (resilience::HostHealth value)",
+              "gauge");
+  for (std::size_t h = 0; h < snap.hosts.size(); ++h) {
+    prom_value(os, "easched_host_health", snap.hosts[h].health,
+               "host=\"" + std::to_string(h) + "\"");
+  }
+  prom_family(os, "easched_host_util_pct",
+              "Per-host allocated CPU as % of capacity", "gauge");
+  for (std::size_t h = 0; h < snap.hosts.size(); ++h) {
+    prom_value(os, "easched_host_util_pct", snap.hosts[h].util_pct,
+               "host=\"" + std::to_string(h) + "\"");
+  }
+  prom_family(os, "easched_host_power_watts", "Per-host electrical draw",
+              "gauge");
+  for (std::size_t h = 0; h < snap.hosts.size(); ++h) {
+    prom_value(os, "easched_host_power_watts", snap.hosts[h].power_w,
+               "host=\"" + std::to_string(h) + "\"");
+  }
+}
+
+// ---- SnapshotRing ----------------------------------------------------------
+
+SnapshotRing::SnapshotRing(std::size_t capacity) : capacity_(capacity) {
+  buf_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void SnapshotRing::push(TelemetrySnapshot snap) {
+  ++total_;
+  if (capacity_ == 0) return;
+  if (buf_.size() < capacity_) {
+    buf_.push_back(std::move(snap));
+    return;
+  }
+  buf_[head_] = std::move(snap);
+  head_ = (head_ + 1) % capacity_;
+}
+
+void SnapshotRing::clear() {
+  buf_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+const TelemetrySnapshot& SnapshotRing::at(std::size_t i) const {
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+const TelemetrySnapshot& SnapshotRing::latest() const {
+  return at(buf_.size() - 1);
+}
+
+// ---- sinks -----------------------------------------------------------------
+
+struct JsonlSink::Impl {
+  std::ofstream out;
+};
+
+JsonlSink::JsonlSink(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path, std::ios::trunc);
+}
+
+JsonlSink::~JsonlSink() = default;
+
+bool JsonlSink::ok() const noexcept { return impl_->out.is_open(); }
+
+void JsonlSink::on_sample(const TelemetrySnapshot& snap) {
+  if (!impl_->out.is_open()) return;
+  write_snapshot_jsonl(impl_->out, snap);
+  impl_->out << '\n';
+}
+
+void JsonlSink::finish() {
+  if (impl_->out.is_open()) impl_->out.flush();
+}
+
+PromSink::PromSink(std::string path) : path_(std::move(path)) {}
+
+void PromSink::on_sample(const TelemetrySnapshot& snap) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return;
+    write_snapshot_prom(out, snap);
+  }
+  std::rename(tmp.c_str(), path_.c_str());
+}
+
+// ---- TelemetryPlane --------------------------------------------------------
+
+TelemetryPlane::TelemetryPlane() : ring_(TelemetryConfig{}.ring_capacity) {}
+
+void TelemetryPlane::enable(TelemetryConfig config) {
+  enabled_ = true;
+  config_ = config;
+  if (config_.period_s <= 0) config_.period_s = 60;
+  ring_ = SnapshotRing(config_.ring_capacity);
+}
+
+TelemetrySink* TelemetryPlane::add_sink(std::unique_ptr<TelemetrySink> sink) {
+  sinks_.push_back(std::move(sink));
+  return sinks_.back().get();
+}
+
+void TelemetryPlane::set_alert_rules(std::vector<AlertRule> rules) {
+  alerts_.configure(std::move(rules));
+}
+
+TelemetrySnapshot TelemetryPlane::capture(sim::SimTime now,
+                                          const Sources& sources) const {
+  TelemetrySnapshot snap;
+  snap.t = now;
+  snap.lambda_min = sources.lambda_min;
+  snap.lambda_max = sources.lambda_max;
+
+  const resilience::ResilienceController* ctrl =
+      sources.recorder != nullptr ? resilience::controller(*sources.recorder)
+                                  : nullptr;
+
+  if (sources.dc != nullptr) {
+    const datacenter::Datacenter& dc = *sources.dc;
+    snap.hosts.reserve(dc.num_hosts());
+    for (std::size_t h = 0; h < dc.num_hosts(); ++h) {
+      const datacenter::Host& host =
+          dc.host(static_cast<datacenter::HostId>(h));
+      HostSample hs;
+      hs.state = static_cast<std::uint8_t>(host.state);
+      if (ctrl != nullptr) {
+        hs.health = static_cast<std::uint8_t>(
+            ctrl->health(static_cast<datacenter::HostId>(h)));
+      }
+      const double cap = host.spec.cpu_capacity_pct;
+      hs.util_pct = static_cast<float>(
+          cap > 0 ? 100.0 * host.used_cpu_pct / cap : 0.0);
+      if (sources.recorder != nullptr) {
+        hs.power_w =
+            static_cast<float>(sources.recorder->watts.host_current(h));
+      }
+      snap.hosts.push_back(hs);
+
+      switch (host.state) {
+        case datacenter::HostState::kOn:
+          ++snap.hosts_on;
+          break;
+        case datacenter::HostState::kBooting:
+          ++snap.hosts_booting;
+          break;
+        case datacenter::HostState::kFailed:
+          ++snap.hosts_failed;
+          break;
+        // ShuttingDown is rolled into "off" — it no longer serves load; the
+        // per-host state field keeps the exact value.
+        case datacenter::HostState::kOff:
+        case datacenter::HostState::kShuttingDown:
+          ++snap.hosts_off;
+          break;
+      }
+      if (host.is_working()) ++snap.working;
+      if (host.is_online()) ++snap.online;
+      snap.running += host.vm_count();
+    }
+    snap.ratio = snap.online > 0
+                     ? static_cast<double>(snap.working) / snap.online
+                     : 0.0;
+  }
+
+  if (sources.recorder != nullptr) {
+    const metrics::Recorder& rec = *sources.recorder;
+    snap.power_w = rec.watts.total_current();
+    snap.energy_kwh = rec.energy_kwh(now);
+    snap.deferred = rec.counts.jobs_deferred;
+    snap.shed = rec.counts.jobs_shed;
+    snap.sla = rec.jobs.mean_satisfaction();
+  }
+  if (sources.driver != nullptr) {
+    snap.queue = sources.driver->queue().size();
+    snap.backoff = sources.driver->backoff_count();
+  }
+  if (ctrl != nullptr) {
+    snap.rung = static_cast<int>(ctrl->ladder());
+    snap.breakers_open = ctrl->breakers_not_healthy();
+  }
+  return snap;
+}
+
+std::uint64_t TelemetryPlane::sample(sim::SimTime now,
+                                     const Sources& sources) {
+  TelemetrySnapshot snap = capture(now, sources);
+  snap.seq = next_seq_++;
+  if (alerts_.enabled()) {
+    snap.active_alerts = alerts_.evaluate(snap, ring_, sources.recorder);
+  }
+  const std::uint64_t seq = snap.seq;
+  // Sinks see the alert-annotated record even with a zero-capacity ring.
+  for (auto& sink : sinks_) sink->on_sample(snap);
+  ring_.push(std::move(snap));
+  return seq;
+}
+
+void TelemetryPlane::finish(sim::SimTime now, const Sources& sources) {
+  if (next_seq_ == 0 || (!ring_.empty() && ring_.latest().t < now)) {
+    sample(now, sources);
+  }
+  for (auto& sink : sinks_) sink->finish();
+}
+
+}  // namespace easched::obs

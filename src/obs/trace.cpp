@@ -42,6 +42,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kBreakerProbe:    return "breaker-probe";
     case EventKind::kBreakerClose:    return "breaker-close";
     case EventKind::kHostDead:        return "host-dead";
+    case EventKind::kAlertFire:       return "alert-fire";
+    case EventKind::kAlertResolve:    return "alert-resolve";
   }
   return "?";
 }
@@ -78,6 +80,9 @@ const char* category(EventKind kind) noexcept {
     case EventKind::kBreakerClose:
     case EventKind::kHostDead:
       return "resilience";
+    case EventKind::kAlertFire:
+    case EventKind::kAlertResolve:
+      return "telemetry";
     default:
       return "host";
   }

@@ -69,6 +69,10 @@ enum class EventKind : std::uint8_t {
   kBreakerProbe,     ///< half-open probe op dispatched onto host
   kBreakerClose,     ///< breaker closed after a successful probe
   kHostDead,         ///< host written off after too many breaker re-opens
+  kAlertFire,        ///< telemetry alert rule started firing; label = rule
+                     ///< name; args: value, bound
+  kAlertResolve,     ///< alert rule resolved; label = rule name; args:
+                     ///< value, fired_t
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -15,12 +15,30 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     const auto eq = arg.find('=');
+    std::string key;
+    std::string value;
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      key = std::move(arg);
+      value = argv[++i];
     } else {
-      values_[arg] = "true";  // bare flag
+      key = std::move(arg);
+      value = "true";  // bare flag
+    }
+    // Deterministic last-one-wins on repeats, with a warning — a duplicated
+    // flag is usually an edited command line where the stale copy survived.
+    const auto it = values_.find(key);
+    if (it != values_.end()) {
+      ++duplicates_;
+      std::fprintf(stderr,
+                   "easched: warning: --%s given more than once; using "
+                   "'%s' (was '%s')\n",
+                   key.c_str(), value.c_str(), it->second.c_str());
+      it->second = std::move(value);
+    } else {
+      values_.emplace(std::move(key), std::move(value));
     }
   }
 }

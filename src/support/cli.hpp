@@ -39,9 +39,16 @@ class CliArgs {
   /// options so callers can choose to make the typo fatal.
   std::size_t warn_unrecognized() const;
 
+  /// Options that appeared more than once on the command line (each repeat
+  /// warned at parse time; the last value deterministically wins).
+  [[nodiscard]] std::size_t duplicate_count() const noexcept {
+    return duplicates_;
+  }
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  std::size_t duplicates_ = 0;
   /// Keys the program has looked up — i.e. options it understands.
   mutable std::set<std::string> seen_;
 };

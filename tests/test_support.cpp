@@ -155,5 +155,29 @@ TEST(Cli, FlagFollowedByFlag) {
   EXPECT_TRUE(args.get_bool("fast", false));
 }
 
+TEST(Cli, DuplicateFlagLastOneWins) {
+  const char* argv[] = {"prog", "--seed=1", "--policy", "SB", "--seed=2"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("seed", 0), 2);
+  EXPECT_EQ(args.duplicate_count(), 1u);
+  // Non-duplicated keys are unaffected.
+  EXPECT_EQ(args.get("policy", ""), "SB");
+}
+
+TEST(Cli, DuplicateAcrossSyntaxes) {
+  // `--k v` then `--k=v2` then bare `--k` are all the same key; the bare
+  // form overwrites with "true" like any other last occurrence.
+  const char* argv[] = {"prog", "--lmin", "0.2", "--lmin=0.4", "--lmin"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.get_bool("lmin", false));
+  EXPECT_EQ(args.duplicate_count(), 2u);
+}
+
+TEST(Cli, NoDuplicatesCountsZero) {
+  const char* argv[] = {"prog", "--a=1", "--b=2"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.duplicate_count(), 0u);
+}
+
 }  // namespace
 }  // namespace easched::support
