@@ -22,6 +22,12 @@
 #
 # Usage: scripts/run_validation.sh [fast]
 #   fast — default build only (step 1); CI tier-1 runs this.
+#
+# Opt-in: EASCHED_BENCH_REGRESSION=1 appends a benchmark-regression step —
+# a Release build of bench_fleet generates a reduced BENCH_fleet.json and
+# scripts/check_bench_regression.py diffs it (plus any other fresh
+# BENCH_*.json found in the build dir) against the committed baselines.
+# Off by default: it is a wall-clock measurement and needs an idle machine.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +46,21 @@ build "$repo/build-validate"
 ctest --test-dir "$repo/build-validate" --output-on-failure -j"$(nproc)"
 EASCHED_VALIDATE=1 ctest --test-dir "$repo/build-validate" -L validate \
   --output-on-failure -j"$(nproc)"
+
+if [ "${EASCHED_BENCH_REGRESSION:-}" = "1" ]; then
+  echo "== benchmark regression check (opt-in) =="
+  cmake -S "$repo" -B "$repo/build-bench-check" -DCMAKE_BUILD_TYPE=Release \
+    -DEASCHED_BUILD_TESTS=OFF -DEASCHED_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$repo/build-bench-check" --target bench_fleet \
+    -j"$(nproc)" >/dev/null
+  # Reduced sweep: the checker compares only the (hosts, churn) rows that
+  # exist in both files, so fewer sizes/rounds still gate the overlap.
+  "$repo/build-bench-check/bench/bench_fleet" --json \
+    --hosts=1000,4000 --rounds=12 --warmup=4 \
+    > "$repo/build-bench-check/BENCH_fleet.json"
+  python3 "$repo/scripts/check_bench_regression.py" \
+    --baseline-dir "$repo" --fresh-dir "$repo/build-bench-check"
+fi
 
 if [ "$fast" = "fast" ]; then
   echo "validation (fast) OK"

@@ -34,6 +34,11 @@
 //   int plan_row(int c); bool movable(int c);
 //   Dirty move(int r, int c);             // Dirty{col, row_a, row_b}
 // Optionally: void prime()                // pre-fill any internal cache
+// Optionally (candidate pruning; both must be *conservative*, i.e. only
+// ever true for cells whose delta against any keep score is >= 0, so the
+// argmin provably never selects them and the move trace stays identical):
+//   bool provably_inf(int r, int c);      // skip one candidate cell
+//   bool skip_block(int c, int blk);      // skip a whole kArgminBlock
 #pragma once
 
 #include <algorithm>
@@ -177,7 +182,8 @@ HillClimbStats hill_climb(Model& model, const HillClimbLimits& limits) {
     model.prime();  // row-partitioned initial matrix build (cached models)
   }
 
-  constexpr int kArgminBlock = 32;
+  // kArgminBlock (core/score.hpp) is shared with the fleet bucket index:
+  // its per-block free-capacity maxima are what skip_block() consults.
   const int nblocks = (rows + kArgminBlock - 1) / kArgminBlock;
   struct Cand {
     double delta = 0;
@@ -200,12 +206,32 @@ HillClimbStats hill_climb(Model& model, const HillClimbLimits& limits) {
     const int hi = std::min(rows, lo + kArgminBlock);
     for (int r = lo; r < hi; ++r) {
       if (r == plan || r == vrow) continue;
+      if constexpr (requires { model.provably_inf(r, c); }) {
+        // A provably infeasible cell has delta >= 0 against any keep
+        // score, so it can never be a candidate — skip the evaluation.
+        if (model.provably_inf(r, c)) continue;
+      }
       const double delta = model.cell(r, c) - keep;
       if (better(delta, r, b)) b = {delta, r};
     }
     block_best[static_cast<std::size_t>(c) *
                    static_cast<std::size_t>(nblocks) +
                static_cast<std::size_t>(blk)] = b;
+  };
+  // rescan_block with the block-level capacity prune in front: when the
+  // model proves that no host in the block can fit the column's VM, every
+  // cell in it is infeasible (delta >= 0) and the block's candidate slot
+  // is *cleared* — a stale pre-move candidate must not survive a skip.
+  const auto scan_block = [&](int c, int blk) {
+    if constexpr (requires { model.skip_block(c, blk); }) {
+      if (model.skip_block(c, blk)) {
+        block_best[static_cast<std::size_t>(c) *
+                       static_cast<std::size_t>(nblocks) +
+                   static_cast<std::size_t>(blk)] = Cand{};
+        return;
+      }
+    }
+    rescan_block(c, blk);
   };
   const auto reduce_col = [&](int c) {
     Cand b;
@@ -218,7 +244,7 @@ HillClimbStats hill_climb(Model& model, const HillClimbLimits& limits) {
     best[static_cast<std::size_t>(c)] = b;
   };
   const auto recompute_col = [&](int c) {
-    for (int blk = 0; blk < nblocks; ++blk) rescan_block(c, blk);
+    for (int blk = 0; blk < nblocks; ++blk) scan_block(c, blk);
     reduce_col(c);
   };
 
@@ -284,9 +310,9 @@ HillClimbStats hill_climb(Model& model, const HillClimbLimits& limits) {
         recompute_col(c);
         return;
       }
-      if (ra >= 0) rescan_block(c, ra / kArgminBlock);
+      if (ra >= 0) scan_block(c, ra / kArgminBlock);
       if (rb >= 0 && (ra < 0 || rb / kArgminBlock != ra / kArgminBlock)) {
-        rescan_block(c, rb / kArgminBlock);
+        scan_block(c, rb / kArgminBlock);
       }
       reduce_col(c);
     });

@@ -14,6 +14,13 @@ inline constexpr double kInfScore = 1e15;
   return s >= kInfScore * 0.5;
 }
 
+/// Row-block granularity shared by the solver's blocked argmin
+/// (hill_climb.hpp) and the fleet snapshot's capacity-bucket index
+/// (fleet.hpp): the per-block free-capacity maxima the index maintains are
+/// consulted block-for-block by the argmin, so both sides must agree on
+/// the block size.
+inline constexpr int kArgminBlock = 32;
+
 /// "Soft infinity" for the PSLA penalty: unacceptable fulfilment makes a
 /// host essentially forbidden, but — unlike hard infeasibility (Preq,
 /// Pres) — a VM whose SLA is hopeless on *every* host must still run

@@ -82,12 +82,32 @@ std::vector<sched::Action> ScoreBasedPolicy::schedule(
       now - last_consolidation_ >= config_.migration_period_s;
   if (consolidate) last_consolidation_ = now;
 
+  // Incremental (fleet) mode serves hill-climb rounds from the cross-round
+  // snapshot instead of re-reading every host. Annealing stays on the
+  // legacy full-rebuild layout: its random walk accepts uphill moves, which
+  // the pruned all-hosts layout is not decision-equivalent for.
+#ifdef EASCHED_FLEET_REFERENCE
+  constexpr bool use_fleet = false;
+#else
+  const bool use_fleet =
+      config_.incremental && config_.solver == MatrixSolver::kHillClimb;
+#endif
+
   obs::PhaseProfiler* prof = obs::profiler(ctx.dc.recorder());
   std::optional<ScoreModel> model_storage;
   {
     obs::PhaseProfiler::Scope scope(prof, obs::Phase::kRebuild);
-    model_storage.emplace(ctx.dc, ctx.queue, config_.params, consolidate,
-                          pool());
+    if (use_fleet) {
+      fleet_.refresh(ctx.dc, ctx.queue);
+      if (auto* ck = validate::checker(ctx.dc.recorder())) {
+        ck->check_fleet(fleet_, ctx.dc, now);
+      }
+      model_storage.emplace(fleet_, ctx.dc, ctx.queue, config_.params,
+                            consolidate, pool());
+    } else {
+      model_storage.emplace(ctx.dc, ctx.queue, config_.params, consolidate,
+                            pool());
+    }
   }
   ScoreModel& model = *model_storage;
   model.set_profiler(prof);

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/annealing.hpp"
+#include "core/fleet.hpp"
 #include "core/hill_climb.hpp"
 #include "core/score.hpp"
 #include "core/score_matrix.hpp"
@@ -48,6 +49,16 @@ struct ScoreBasedConfig {
   /// i.e. serial). Threaded plans are bit-identical to serial ones
   /// (tests/test_solver_equivalence.cpp).
   int solver_threads = 0;
+  /// Cross-round incremental scheduling core (core/fleet.hpp): keep a
+  /// persistent fleet snapshot between rounds, re-read only the hosts the
+  /// Datacenter's dirty journal names, and let the hill climber prune
+  /// provably infeasible candidates through the capacity-bucket index.
+  /// Decisions are bit-identical to the full-rebuild path (the fleet
+  /// differential tests hold this); disable to force the reference
+  /// rebuild-every-round behaviour. Only the hill-climb solver uses it —
+  /// annealing explores uphill moves the pruned layout cannot represent —
+  /// and building with -DEASCHED_FLEET_REFERENCE=ON overrides it to off.
+  bool incremental = true;
   std::string label = "SB";
 
   static ScoreBasedConfig sb0();
@@ -96,6 +107,7 @@ class ScoreBasedPolicy final : public sched::Policy {
 
   ScoreBasedConfig config_;
   HillClimbStats last_stats_;
+  FleetState fleet_;  ///< cross-round incremental state (incremental mode)
   sim::SimTime last_consolidation_ = -1e18;  ///< time of last migration round
   std::unique_ptr<SolverPool> pool_;  ///< lazily created, reused each round
   bool pool_resolved_ = false;

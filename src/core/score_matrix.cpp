@@ -15,6 +15,35 @@ using datacenter::HostState;
 using datacenter::VmId;
 using datacenter::VmState;
 
+void ScoreModel::fill_column_common(VmCol& c, const datacenter::Vm& vm,
+                                    bool is_new, sim::SimTime now) {
+  c.id = vm.id;
+  c.cpu = vm.cpu_demand_pct;
+  c.mem = vm.job.mem_mb;
+  c.is_new = is_new;
+  c.can_move = true;
+  c.elapsed_s = now - vm.job.submit;
+  c.remaining_user_s = vm.job.dedicated_seconds - c.elapsed_s;
+  c.remaining_work_s = vm.remaining_work_s();
+  c.deadline_s = vm.job.deadline_seconds();
+  c.fault_tolerance = vm.job.fault_tolerance;
+  c.arch = vm.job.arch;
+  c.software = vm.job.software;
+}
+
+void ScoreModel::bind_own_rows() {
+  placeable_ = own_.placeable.data();
+  cap_cpu_ = own_.cpu_cap.data();
+  cap_mem_ = own_.mem_cap.data();
+  mgmt_ = own_.mgmt.data();
+  conc_ = own_.conc.data();
+  cost_create_ = own_.creation.data();
+  cost_migrate_ = own_.migration.data();
+  reliability_ = own_.reliability.data();
+  arch_ = own_.arch.data();
+  software_ = own_.software.data();
+}
+
 ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
                        const std::vector<VmId>& queued,
                        const ScoreParams& params, bool migration_enabled,
@@ -22,53 +51,47 @@ ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
     : params_(params), pool_(pool) {
   const sim::SimTime now = dc.simulator().now();
 
-  // Rows: powered-on hosts.
+  // Rows: powered-on hosts, compacted (legacy layout).
   std::vector<int> row_of_host(dc.num_hosts(), -1);
   for (HostId h = 0; h < dc.num_hosts(); ++h) {
     const auto& host = dc.host(h);
     if (!dc.placeable(h)) continue;
-    HostRow r;
-    r.id = h;
-    r.cpu_cap = host.spec.cpu_capacity_pct;
-    r.mem_cap = host.spec.mem_mb;
-    r.cpu_res = dc.reserved_cpu_pct(h);
-    r.mem_res = dc.reserved_mem_mb(h);
-    r.vm_count = static_cast<int>(host.vm_count());
-    r.mgmt_demand = host.mgmt_demand_pct();
+    row_of_host[h] = static_cast<int>(own_.id.size());
+    own_.id.push_back(h);
+    own_.cpu_cap.push_back(host.spec.cpu_capacity_pct);
+    own_.mem_cap.push_back(host.spec.mem_mb);
+    cpu_res_.push_back(dc.reserved_cpu_pct(h));
+    mem_res_.push_back(dc.reserved_mem_mb(h));
+    vm_count_.push_back(static_cast<int>(host.vm_count()));
+    own_.mgmt.push_back(host.mgmt_demand_pct());
+    double conc = 0;
     for (const auto& op : host.ops) {
-      r.conc_remaining_s += std::max(0.0, op.ends - now);
+      conc += std::max(0.0, op.ends - now);
     }
+    own_.conc.push_back(conc);
+    double running = 0;
     for (VmId v : host.residents) {
       if (dc.vm(v).state == VmState::kRunning) {
-        r.running_demand += dc.vm(v).cpu_demand_pct;
+        running += dc.vm(v).cpu_demand_pct;
       }
     }
-    r.creation_cost = host.spec.creation_cost_s;
-    r.migration_cost = host.spec.migration_cost_s;
-    r.reliability = host.spec.reliability;
-    r.arch = host.spec.arch;
-    r.software = host.spec.software;
-    row_of_host[h] = static_cast<int>(hosts_.size());
-    hosts_.push_back(r);
+    running_.push_back(running);
+    own_.creation.push_back(host.spec.creation_cost_s);
+    own_.migration.push_back(host.spec.migration_cost_s);
+    own_.reliability.push_back(host.spec.reliability);
+    own_.arch.push_back(host.spec.arch);
+    own_.software.push_back(host.spec.software);
   }
+  own_.placeable.assign(own_.id.size(), 1);
+  nrows_ = static_cast<int>(own_.id.size());
+  bind_own_rows();
 
   auto add_column = [&](const datacenter::Vm& vm, bool is_new) {
     VmCol c;
-    c.id = vm.id;
-    c.cpu = vm.cpu_demand_pct;
-    c.mem = vm.job.mem_mb;
-    c.is_new = is_new;
-    c.can_move = true;
+    fill_column_common(c, vm, is_new, now);
     c.original = is_new ? virtual_row() : row_of_host[vm.host];
     if (!is_new && c.original < 0) return;  // host offline; shouldn't happen
     c.planned = c.original;
-    c.elapsed_s = now - vm.job.submit;
-    c.remaining_user_s = vm.job.dedicated_seconds - c.elapsed_s;
-    c.remaining_work_s = vm.remaining_work_s();
-    c.deadline_s = vm.job.deadline_seconds();
-    c.fault_tolerance = vm.job.fault_tolerance;
-    c.arch = vm.job.arch;
-    c.software = vm.job.software;
     vms_.push_back(c);
   };
 
@@ -85,46 +108,156 @@ ScoreModel::ScoreModel(const datacenter::Datacenter& dc,
     }
   }
 
-  const std::size_t cells = hosts_.size() * vms_.size();
+  const std::size_t cells =
+      static_cast<std::size_t>(nrows_) * vms_.size();
   static_terms_.resize(cells);
+  static_ok_.assign(cells, 0);
   cache_.resize(cells);
   cache_ok_.assign(cells, 0);
   build_static_terms(pool_);
 }
 
-void ScoreModel::build_static_terms(SolverPool* pool) {
-  const int nrows = static_cast<int>(hosts_.size());
-  if (nrows == 0 || vms_.empty()) return;
-  if (pool != nullptr && pool->threads() > 1) {
-    pool->parallel_for(nrows, [this](int begin, int end) {
-      for (int r = begin; r < end; ++r) build_static_row(r);
-    });
-  } else {
-    for (int r = 0; r < nrows; ++r) build_static_row(r);
+ScoreModel::ScoreModel(FleetState& fleet, const datacenter::Datacenter& dc,
+                       const std::vector<VmId>& queued,
+                       const ScoreParams& params, bool migration_enabled,
+                       SolverPool* pool)
+    : params_(params), pool_(pool), fleet_scratch_home_(&fleet),
+      fleet_mode_(true) {
+  const sim::SimTime now = dc.simulator().now();
+  const FleetSnapshot& snap = fleet.snapshot();
+  EA_EXPECTS(snap.size() == dc.num_hosts());
+  nrows_ = static_cast<int>(snap.size());
+
+  // Immutable attributes alias the cross-round snapshot; only the
+  // plan-tracked state is copied (move() mutates it). The copies land in
+  // the fleet's recycled scratch buffers — move the capacity in, then
+  // assign, so steady-state rounds allocate nothing.
+  placeable_ = snap.placeable.data();
+  cap_cpu_ = snap.cpu_cap.data();
+  cap_mem_ = snap.mem_cap.data();
+  mgmt_ = snap.mgmt_demand.data();
+  conc_ = snap.conc_remaining_s.data();
+  cost_create_ = snap.creation_cost.data();
+  cost_migrate_ = snap.migration_cost.data();
+  reliability_ = snap.reliability.data();
+  arch_ = snap.arch.data();
+  software_ = snap.software.data();
+  ModelScratch& scratch = fleet.model_scratch();
+  const auto take = [](auto& dst, auto& src, const auto& from) {
+    dst = std::move(src);
+    dst.assign(from.begin(), from.end());
+  };
+  take(cpu_res_, scratch.cpu_res, snap.cpu_res);
+  take(mem_res_, scratch.mem_res, snap.mem_res);
+  take(running_, scratch.running, snap.running_demand);
+  take(vm_count_, scratch.vm_count, snap.vm_count);
+  take(free_cpu_, scratch.free_cpu, fleet.index().free_cpu_all());
+  take(free_mem_, scratch.free_mem, fleet.index().free_mem_all());
+  take(block_free_cpu_, scratch.block_free_cpu, fleet.index().block_free_cpu());
+  take(block_free_mem_, scratch.block_free_mem, fleet.index().block_free_mem());
+  plan_touched_ = std::move(scratch.plan_touched);
+  plan_touched_.assign(static_cast<std::size_t>(nrows_), 0);
+
+  for (VmId v : queued) {
+    EA_EXPECTS(dc.vm(v).state == VmState::kQueued);
+    VmCol c;
+    fill_column_common(c, dc.vm(v), /*is_new=*/true, now);
+    c.original = virtual_row();
+    c.planned = c.original;
+    // A queued VM's score column is round-time-independent unless PSLA is
+    // on (Pvirt charges the creation cost, not the time-varying Pm; Pconc
+    // cells change only when their host is dirtied, which invalidates
+    // them): carry it across rounds.
+    if (!params_.use_sla) {
+      c.persist = fleet.col_cache(c.id, snap.size());
+    }
+    vms_.push_back(c);
   }
+  if (migration_enabled) {
+    for (VmId v : dc.active_vms()) {
+      const auto& vm = dc.vm(v);
+      if (vm.state != VmState::kRunning) continue;
+      // Mirrors the legacy row_of_host < 0 exclusion: a running VM on a
+      // non-placeable host is pinned, not a column.
+      if (snap.placeable[vm.host] == 0) continue;
+      VmCol c;
+      fill_column_common(c, vm, /*is_new=*/false, now);
+      c.original = static_cast<int>(vm.host);
+      c.planned = c.original;
+      vms_.push_back(c);
+    }
+  }
+
+  // The M x N arrays are the round's dominant allocation at fleet scale;
+  // recycle them too. resize() (not assign) for the data arrays: stale
+  // contents are unreadable behind the zeroed _ok bitmaps, so only the
+  // bitmaps pay a fleet-sized clear per round.
+  const std::size_t cells =
+      static_cast<std::size_t>(nrows_) * vms_.size();
+  static_terms_ = std::move(scratch.static_terms);
+  static_terms_.resize(cells);
+  static_ok_ = std::move(scratch.static_ok);
+  static_ok_.assign(cells, 0);  // built lazily; most cells prune away
+  cache_ = std::move(scratch.cache);
+  cache_.resize(cells);
+  cache_ok_ = std::move(scratch.cache_ok);
+  cache_ok_.assign(cells, 0);
 }
 
-void ScoreModel::build_static_row(int r) {
-  const HostRow& h = hosts_[static_cast<std::size_t>(r)];
-  for (int c = 0; c < static_cast<int>(vms_.size()); ++c) {
-    const VmCol& v = vms_[static_cast<std::size_t>(c)];
-    StaticTerms& st = static_terms_[at(r, c)];
-    st.compat =
-        h.arch == v.arch && (h.software & v.software) == v.software;
-    if (!st.compat) continue;
-    const bool home = v.original == r;
-    if (params_.use_virt) {
-      const double pm = p_migration(h.migration_cost, v.remaining_user_s);
-      st.virt = p_virt(home, /*operation_on_vm=*/false, v.is_new,
-                       h.creation_cost, pm);
+ScoreModel::~ScoreModel() {
+  if (fleet_scratch_home_ == nullptr) return;
+  ModelScratch& scratch = fleet_scratch_home_->model_scratch();
+  scratch.cpu_res = std::move(cpu_res_);
+  scratch.mem_res = std::move(mem_res_);
+  scratch.running = std::move(running_);
+  scratch.vm_count = std::move(vm_count_);
+  scratch.free_cpu = std::move(free_cpu_);
+  scratch.free_mem = std::move(free_mem_);
+  scratch.block_free_cpu = std::move(block_free_cpu_);
+  scratch.block_free_mem = std::move(block_free_mem_);
+  scratch.plan_touched = std::move(plan_touched_);
+  scratch.static_terms = std::move(static_terms_);
+  scratch.static_ok = std::move(static_ok_);
+  scratch.cache = std::move(cache_);
+  scratch.cache_ok = std::move(cache_ok_);
+}
+
+void ScoreModel::build_static_terms(SolverPool* pool) {
+  const int nrows = nrows_;
+  if (nrows == 0 || vms_.empty()) return;
+  const auto build_rows = [this](int begin, int end) {
+    const int ncols = static_cast<int>(vms_.size());
+    for (int r = begin; r < end; ++r) {
+      for (int c = 0; c < ncols; ++c) build_static_cell(r, c);
     }
-    st.conc = p_conc(home, h.conc_remaining_s);
-    st.fault = p_fault(h.reliability, v.fault_tolerance, params_.c_fail);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->parallel_for(nrows, build_rows);
+  } else {
+    build_rows(0, nrows);
   }
+  std::fill(static_ok_.begin(), static_ok_.end(), 1);
+}
+
+void ScoreModel::build_static_cell(int r, int c) const {
+  const VmCol& v = vms_[static_cast<std::size_t>(c)];
+  StaticTerms& st = static_terms_[at(r, c)];
+  st.compat = placeable_[r] != 0 && arch_[r] == v.arch &&
+              (software_[r] & v.software) == v.software;
+  if (!st.compat) return;
+  const bool home = v.original == r;
+  if (params_.use_virt) {
+    const double pm = p_migration(cost_migrate_[r], v.remaining_user_s);
+    st.virt = p_virt(home, /*operation_on_vm=*/false, v.is_new,
+                     cost_create_[r], pm);
+  }
+  st.conc = p_conc(home, conc_[r]);
+  st.fault = p_fault(reliability_[r], v.fault_tolerance, params_.c_fail);
 }
 
 void ScoreModel::prime() {
-  const int nrows = static_cast<int>(hosts_.size());
+  if (fleet_mode_) return;  // the argmin warms what it reads
+  const int nrows = nrows_;
   const int ncols = static_cast<int>(vms_.size());
   if (nrows == 0 || ncols == 0) return;
   const auto fill_rows = [this, ncols](int begin, int end) {
@@ -145,7 +278,7 @@ void ScoreModel::prime() {
   }
 }
 
-int ScoreModel::rows() const { return static_cast<int>(hosts_.size()) + 1; }
+int ScoreModel::rows() const { return nrows_ + 1; }
 int ScoreModel::cols() const { return static_cast<int>(vms_.size()); }
 
 int ScoreModel::plan_row(int c) const {
@@ -170,7 +303,8 @@ VmId ScoreModel::vm_at(int c) const {
 
 HostId ScoreModel::host_at(int r) const {
   EA_EXPECTS(r >= 0 && r < virtual_row());
-  return hosts_[static_cast<std::size_t>(r)].id;
+  return fleet_mode_ ? static_cast<HostId>(r)
+                     : own_.id[static_cast<std::size_t>(r)];
 }
 
 double ScoreModel::cell(int r, int c) const {
@@ -179,7 +313,24 @@ double ScoreModel::cell(int r, int c) const {
   if (r == virtual_row()) return kInfScore;
   const std::size_t i = at(r, c);
   if (!cache_ok_[i]) {
-    cache_[i] = score_cell(r, c);
+    FleetColCache* persist = vms_[static_cast<std::size_t>(c)].persist;
+    if (persist != nullptr && plan_touched_[static_cast<std::size_t>(r)] == 0) {
+      // Fleet mode, untouched row: the row's plan state equals the
+      // snapshot, so the cross-round persisted value (computed under the
+      // same state last round — its host would have been dirtied
+      // otherwise) is exact; a fresh evaluation is persisted for the next
+      // round.
+      auto& ok = persist->ok[static_cast<std::size_t>(r)];
+      if (ok != 0) {
+        cache_[i] = persist->by_host[static_cast<std::size_t>(r)];
+      } else {
+        cache_[i] = score_cell(r, c);
+        persist->by_host[static_cast<std::size_t>(r)] = cache_[i];
+        ok = 1;
+      }
+    } else {
+      cache_[i] = score_cell(r, c);
+    }
     cache_ok_[i] = 1;
   }
   return cache_[i];
@@ -190,6 +341,31 @@ double ScoreModel::recompute_cell(int r, int c) const {
   EA_EXPECTS(c >= 0 && c < cols());
   if (r == virtual_row()) return kInfScore;
   return score_cell(r, c);
+}
+
+bool ScoreModel::provably_inf(int r, int c) const {
+  if (!fleet_mode_) return false;
+  const VmCol& v = vms_[static_cast<std::size_t>(c)];
+  if (v.planned == r) return false;  // need is 0; the keep cell may be finite
+  if (placeable_[r] == 0) return true;      // compat folds placeability
+  if (arch_[r] != v.arch || (software_[r] & v.software) != v.software) {
+    return true;
+  }
+  return v.cpu > free_cpu_[static_cast<std::size_t>(r)] ||
+         v.mem > free_mem_[static_cast<std::size_t>(r)];
+}
+
+bool ScoreModel::skip_block(int c, int blk) const {
+  if (!fleet_mode_) return false;
+  if (blk < 0 || blk >= static_cast<int>(block_free_cpu_.size())) {
+    return false;  // the virtual row's tail block is never skippable
+  }
+  // The block maxima only prove capacity infeasibility, not compatibility
+  // — but a skipped candidate would have delta >= 0 either way, and the
+  // plan row is exempt because rescans skip it anyway.
+  const VmCol& v = vms_[static_cast<std::size_t>(c)];
+  return v.cpu > block_free_cpu_[static_cast<std::size_t>(blk)] ||
+         v.mem > block_free_mem_[static_cast<std::size_t>(blk)];
 }
 
 ScoreBreakdown ScoreModel::breakdown(int r, int c) const {
@@ -204,9 +380,8 @@ ScoreBreakdown ScoreModel::breakdown(int r, int c) const {
   // Term-for-term mirror of score_cell(): same expressions, same
   // accumulation order, so the left-to-right sum of the terms reproduces
   // cell(r, c) bit for bit.
-  const HostRow& h = hosts_[static_cast<std::size_t>(r)];
   const VmCol& v = vms_[static_cast<std::size_t>(c)];
-  const StaticTerms& st = static_terms_[at(r, c)];
+  const StaticTerms& st = ensure_static(r, c);
   if (!st.compat) {
     b.req = kInfScore;
     b.total = kInfScore;
@@ -214,9 +389,12 @@ ScoreBreakdown ScoreModel::breakdown(int r, int c) const {
   }
   const bool planned_here = v.planned == r;
   const bool home = v.original == r;
-  const double cpu = h.cpu_res + (planned_here ? 0.0 : v.cpu);
-  const double mem = h.mem_res + (planned_here ? 0.0 : v.mem);
-  const double occupation = std::max(cpu / h.cpu_cap, mem / h.mem_cap);
+  const double cpu =
+      cpu_res_[static_cast<std::size_t>(r)] + (planned_here ? 0.0 : v.cpu);
+  const double mem =
+      mem_res_[static_cast<std::size_t>(r)] + (planned_here ? 0.0 : v.mem);
+  const double occupation =
+      std::max(cpu / cap_cpu_[r], mem / cap_mem_[r]);
   b.res = p_res(occupation);
   if (is_inf_score(b.res)) {
     b.total = kInfScore;
@@ -232,19 +410,19 @@ ScoreBreakdown ScoreModel::breakdown(int r, int c) const {
     s += b.conc;
   }
   if (params_.use_pwr) {
-    const int count_wo_vm = h.vm_count - (planned_here ? 1 : 0);
+    const int count_wo_vm =
+        vm_count_[static_cast<std::size_t>(r)] - (planned_here ? 1 : 0);
     b.pwr = p_pwr(count_wo_vm, params_.th_empty, params_.c_empty, occupation,
                   params_.c_fill);
     s += b.pwr;
   }
   if (params_.use_sla) {
-    double demand = h.running_demand + h.mgmt_demand;
+    double demand = running_[static_cast<std::size_t>(r)] + mgmt_[r];
     if (!planned_here) demand += v.cpu;
-    const double rate = demand <= h.cpu_cap || demand <= 0
-                            ? 1.0
-                            : h.cpu_cap / demand;
+    const double rate =
+        demand <= cap_cpu_[r] || demand <= 0 ? 1.0 : cap_cpu_[r] / demand;
     const double transfer =
-        v.is_new ? h.creation_cost : (home ? 0.0 : h.migration_cost);
+        v.is_new ? cost_create_[r] : (home ? 0.0 : cost_migrate_[r]);
     const double projected =
         v.elapsed_s + transfer + v.remaining_work_s / rate;
     const double fulfilment =
@@ -262,9 +440,8 @@ ScoreBreakdown ScoreModel::breakdown(int r, int c) const {
 }
 
 double ScoreModel::score_cell(int r, int c) const {
-  const HostRow& h = hosts_[static_cast<std::size_t>(r)];
   const VmCol& v = vms_[static_cast<std::size_t>(c)];
-  const StaticTerms& st = static_terms_[at(r, c)];
+  const StaticTerms& st = ensure_static(r, c);
 
   // Preq — hardware and software requirements (plan-independent).
   if (!st.compat) return kInfScore;
@@ -273,9 +450,12 @@ double ScoreModel::score_cell(int r, int c) const {
   const bool home = v.original == r;
 
   // Pres — occupation after allocating the VM here.
-  const double cpu = h.cpu_res + (planned_here ? 0.0 : v.cpu);
-  const double mem = h.mem_res + (planned_here ? 0.0 : v.mem);
-  const double occupation = std::max(cpu / h.cpu_cap, mem / h.mem_cap);
+  const double cpu =
+      cpu_res_[static_cast<std::size_t>(r)] + (planned_here ? 0.0 : v.cpu);
+  const double mem =
+      mem_res_[static_cast<std::size_t>(r)] + (planned_here ? 0.0 : v.mem);
+  const double occupation =
+      std::max(cpu / cap_cpu_[r], mem / cap_mem_[r]);
   double s = p_res(occupation);
   if (is_inf_score(s)) return kInfScore;
 
@@ -286,20 +466,20 @@ double ScoreModel::score_cell(int r, int c) const {
     s += st.conc;
   }
   if (params_.use_pwr) {
-    const int count_wo_vm = h.vm_count - (planned_here ? 1 : 0);
+    const int count_wo_vm =
+        vm_count_[static_cast<std::size_t>(r)] - (planned_here ? 1 : 0);
     s += p_pwr(count_wo_vm, params_.th_empty, params_.c_empty, occupation,
                params_.c_fill);
   }
   if (params_.use_sla) {
-    double demand = h.running_demand + h.mgmt_demand;
+    double demand = running_[static_cast<std::size_t>(r)] + mgmt_[r];
     if (!planned_here) demand += v.cpu;
-    const double rate = demand <= h.cpu_cap || demand <= 0
-                            ? 1.0
-                            : h.cpu_cap / demand;
+    const double rate =
+        demand <= cap_cpu_[r] || demand <= 0 ? 1.0 : cap_cpu_[r] / demand;
     // The transfer itself delays the job: creation for a new VM, the
     // migration pause when the candidate host is not the VM's home.
     const double transfer =
-        v.is_new ? h.creation_cost : (home ? 0.0 : h.migration_cost);
+        v.is_new ? cost_create_[r] : (home ? 0.0 : cost_migrate_[r]);
     const double projected =
         v.elapsed_s + transfer + v.remaining_work_s / rate;
     const double fulfilment =
@@ -319,6 +499,31 @@ void ScoreModel::invalidate_row(int r) {
   std::memset(cache_ok_.data() + at(r, 0), 0, ncols);
 }
 
+void ScoreModel::touch_row(int r) {
+  const auto i = static_cast<std::size_t>(r);
+  plan_touched_[i] = 1;
+  free_cpu_[i] = placeable_[r] != 0
+                     ? cap_cpu_[r] * kFleetOverMargin - cpu_res_[i]
+                     : -1.0;
+  free_mem_[i] = placeable_[r] != 0
+                     ? cap_mem_[r] * kFleetOverMargin - mem_res_[i]
+                     : -1.0;
+  rebuild_margin_block(r / kArgminBlock);
+}
+
+void ScoreModel::rebuild_margin_block(int blk) {
+  const int lo = blk * kArgminBlock;
+  const int hi = std::min(nrows_, lo + kArgminBlock);
+  double best_cpu = -1.0;
+  double best_mem = -1.0;
+  for (int r = lo; r < hi; ++r) {
+    best_cpu = std::max(best_cpu, free_cpu_[static_cast<std::size_t>(r)]);
+    best_mem = std::max(best_mem, free_mem_[static_cast<std::size_t>(r)]);
+  }
+  block_free_cpu_[static_cast<std::size_t>(blk)] = best_cpu;
+  block_free_mem_[static_cast<std::size_t>(blk)] = best_mem;
+}
+
 ScoreModel::Dirty ScoreModel::move(int r, int c) {
   // Hill climbing only plans moves onto real hosts; the exhaustive
   // reference solver additionally undoes placements by moving a queued
@@ -333,21 +538,25 @@ ScoreModel::Dirty ScoreModel::move(int r, int c) {
   dirty.col = c;
   dirty.row_b = r == virtual_row() ? -1 : r;
   if (v.planned != virtual_row()) {
-    HostRow& old_row = hosts_[static_cast<std::size_t>(v.planned)];
-    old_row.cpu_res -= v.cpu;
-    old_row.mem_res -= v.mem;
-    old_row.vm_count -= 1;
-    old_row.running_demand -= v.cpu;
+    const auto old_row = static_cast<std::size_t>(v.planned);
+    cpu_res_[old_row] -= v.cpu;
+    mem_res_[old_row] -= v.mem;
+    vm_count_[old_row] -= 1;
+    running_[old_row] -= v.cpu;
     dirty.row_a = v.planned;
   }
   if (r != virtual_row()) {
-    HostRow& new_row = hosts_[static_cast<std::size_t>(r)];
-    new_row.cpu_res += v.cpu;
-    new_row.mem_res += v.mem;
-    new_row.vm_count += 1;
-    new_row.running_demand += v.cpu;
+    const auto new_row = static_cast<std::size_t>(r);
+    cpu_res_[new_row] += v.cpu;
+    mem_res_[new_row] += v.mem;
+    vm_count_[new_row] += 1;
+    running_[new_row] += v.cpu;
   }
   v.planned = r;
+  if (fleet_mode_) {
+    if (dirty.row_a >= 0) touch_row(dirty.row_a);
+    if (dirty.row_b >= 0) touch_row(dirty.row_b);
+  }
   {
     obs::PhaseProfiler::Scope scope(profiler_, obs::Phase::kInvalidate);
     if (dirty.row_a >= 0) invalidate_row(dirty.row_a);

@@ -12,8 +12,8 @@
 // Incremental evaluation. Score(h, vm) splits into a plan-independent part
 // — Preq compatibility, Pvirt (charged from the original location), Pconc
 // (the snapshot's in-flight operations) and Pfault — computed once per
-// (host, vm) pair at snapshot time, and a plan-dependent part (Pres, Ppwr,
-// PSLA) evaluated against the current plan. Evaluated cells are cached.
+// (host, vm) pair, and a plan-dependent part (Pres, Ppwr, PSLA) evaluated
+// against the current plan. Evaluated cells are cached.
 //
 // Cache-invalidation contract: move(r, c) dirties exactly the rows the
 // column left and entered — those rows' occupation, VM count and running
@@ -22,10 +22,34 @@
 // its original location, which never moves), and the virtual row is
 // constantly kInfScore. tests/test_score_cache.cpp holds this contract to
 // zero-tolerance equality against fresh recomputation.
+//
+// Two row layouts share one evaluation path:
+//
+//   Legacy (full-rebuild) mode — the original constructor. Rows are the
+//   *placeable* hosts, compacted; every per-host attribute is re-read from
+//   the Datacenter and copied into an owned backing store. Used by the
+//   annealing solver, choose_power_off's ranking matrix, and as the
+//   reference side of the incremental differential tests.
+//
+//   Fleet (incremental) mode — the FleetState constructor. Rows are ALL
+//   hosts, row index == HostId; the immutable attribute arrays alias the
+//   cross-round FleetSnapshot (zero copies), only the four plan-tracked
+//   arrays are copied per round, and the plan-independent terms are built
+//   lazily per cell. Non-placeable hosts keep a row whose cells are
+//   constantly kInfScore (placeability is folded into the Preq
+//   compatibility bit), so relative order of the placeable rows — and
+//   therefore every argmin decision — matches the legacy layout exactly.
+//   Fleet mode additionally maintains plan-tracked free-capacity margins
+//   (seeded from the HostBucketIndex) that let the solver skip provably
+//   infeasible cells and whole kArgminBlock row blocks, and it carries
+//   queued VMs' evaluated score columns across rounds through FleetColCache
+//   (only when their scores are round-time-independent, i.e. !use_sla;
+//   see provably_inf()/skip_block()/cell() below).
 #pragma once
 
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "core/score.hpp"
 #include "datacenter/datacenter.hpp"
 #include "datacenter/ids.hpp"
@@ -53,12 +77,12 @@ struct ScoreBreakdown {
 
 class ScoreModel {
  public:
-  /// Snapshots `dc`. Columns are built from the queued VMs plus — when
-  /// `migration_enabled` — every running VM (they are then movable).
-  /// Running VMs with an operation in flight are pinned wherever they are
-  /// (the paper gives them infinite scores; we simply exclude them as
-  /// columns, which is equivalent and cheaper). Rows are the powered-on
-  /// hosts plus the virtual host as the last row.
+  /// Legacy full-rebuild snapshot of `dc`. Columns are built from the
+  /// queued VMs plus — when `migration_enabled` — every running VM (they
+  /// are then movable). Running VMs with an operation in flight are pinned
+  /// wherever they are (the paper gives them infinite scores; we simply
+  /// exclude them as columns, which is equivalent and cheaper). Rows are
+  /// the powered-on hosts plus the virtual host as the last row.
   ///
   /// `pool` (optional, not owned) parallelizes the plan-independent term
   /// build and prime() over row ranges; results are bit-identical to the
@@ -68,13 +92,37 @@ class ScoreModel {
              const ScoreParams& params, bool migration_enabled,
              SolverPool* pool = nullptr);
 
+  /// Fleet-mode constructor: borrows `fleet` (already refresh()ed for this
+  /// round against `dc`) instead of re-reading the Datacenter. The model
+  /// must not outlive the round — it aliases the snapshot's arrays and
+  /// writes evaluated queued-VM cells through into the fleet's persistent
+  /// columns. Decisions (move traces, emitted actions) are identical to
+  /// the legacy constructor's; only row indexing differs (HostId-direct
+  /// instead of compacted), which host_at() hides.
+  ScoreModel(FleetState& fleet, const datacenter::Datacenter& dc,
+             const std::vector<datacenter::VmId>& queued,
+             const ScoreParams& params, bool migration_enabled,
+             SolverPool* pool = nullptr);
+
+  ScoreModel(const ScoreModel&) = delete;
+  ScoreModel& operator=(const ScoreModel&) = delete;
+
+  /// Fleet mode returns the big per-round buffers (cache, static terms,
+  /// plan vectors, margins) to the FleetState's ModelScratch so the next
+  /// round reuses their capacity instead of re-allocating. Legacy mode
+  /// does nothing.
+  ~ScoreModel();
+
   [[nodiscard]] int rows() const;  ///< hosts + 1 (virtual host, last row)
   [[nodiscard]] int cols() const;
   [[nodiscard]] int virtual_row() const { return rows() - 1; }
+  [[nodiscard]] bool fleet_mode() const { return fleet_mode_; }
 
   /// Score(h, vm) for the current plan. The virtual row is kInfScore.
   /// Cached: repeated calls between moves are O(1); a move re-evaluates
-  /// only cells of the two touched rows on their next read.
+  /// only cells of the two touched rows on their next read. In fleet mode
+  /// a queued VM's cells additionally read from / write through to its
+  /// persistent cross-round column while the row's plan is untouched.
   [[nodiscard]] double cell(int r, int c) const;
 
   /// Recomputes Score(r, c) from the bookkeeping, bypassing (and not
@@ -96,7 +144,10 @@ class ScoreModel {
 
   /// Evaluates every cell into the cache, partitioned by rows over the
   /// pool when one was supplied (the "initial matrix build" sweep). A
-  /// serial call is equivalent; lazy per-cell fills are too.
+  /// serial call is equivalent; lazy per-cell fills are too. Fleet mode
+  /// makes this a no-op: eagerly sweeping all M x N cells is exactly the
+  /// cost the incremental path exists to avoid, and the solver's blocked
+  /// argmin warms what it reads.
   void prime();
 
   /// Row where column `c` is currently planned.
@@ -107,12 +158,31 @@ class ScoreModel {
   /// VMs only when migration is enabled).
   [[nodiscard]] bool movable(int c) const;
 
+  /// Conservative infeasibility test for cell (r, c), O(1), no evaluation:
+  /// true only when Score(r, c) is *provably* kInfScore under the current
+  /// plan — incompatible hardware/software, a non-placeable row, or a VM
+  /// demand exceeding the row's conservatively-widened free margin (see
+  /// kFleetOverMargin). Never true for the column's planned row. Always
+  /// false in legacy mode (the reference path stays spec-simple). The
+  /// solver may skip a provably-inf cell: its delta against any keep score
+  /// is >= 0, so it can never be selected by the argmin.
+  [[nodiscard]] bool provably_inf(int r, int c) const;
+
+  /// Block-level variant: true when *every* host row of kArgminBlock block
+  /// `blk` is provably infeasible for column `c` (the block's maximum free
+  /// margin cannot fit the VM). The solver then skips the whole block.
+  /// False in legacy mode and for any block index outside the real-host
+  /// range (the virtual row's tail block is never skippable).
+  [[nodiscard]] bool skip_block(int c, int blk) const;
+
   /// Applies a plan move of column `c` to row `r` and returns the dirty
   /// region: every cell of column `c`, plus every cell of the rows the VM
   /// left and entered (their occupation changed for all other columns).
   /// Moving to the virtual row (allowed only for undo by the exhaustive
   /// reference solver) releases the column's reservations. Invalidates the
-  /// cached cells of the dirty rows.
+  /// cached cells of the dirty rows; in fleet mode also updates the
+  /// touched rows' pruning margins and marks them plan-touched (their
+  /// cells stop flowing through the persistent columns).
   struct Dirty {
     int col = -1;
     int row_a = -1;  ///< previous row (-1 if it was the virtual row)
@@ -134,7 +204,10 @@ class ScoreModel {
   /// in `first_r`/`first_c` (optional). Cold cells are skipped — only
   /// memoized values can be stale — so the scan costs one recompute per
   /// warm cell and nothing touches the cache. This is the kScoreCache
-  /// invariant rule (validate/invariant_checker.hpp).
+  /// invariant rule (validate/invariant_checker.hpp). In fleet mode it
+  /// also covers the persistent columns: a stale persisted value is loaded
+  /// into the cache on first read and then diverges from the fresh
+  /// recomputation like any other corruption.
   [[nodiscard]] int count_cache_divergences(int* first_r = nullptr,
                                             int* first_c = nullptr) const;
 
@@ -144,19 +217,6 @@ class ScoreModel {
   void debug_corrupt_cache(int r, int c, double delta);
 
  private:
-  struct HostRow {
-    datacenter::HostId id = 0;
-    double cpu_cap = 0, mem_cap = 0;
-    double cpu_res = 0, mem_res = 0;  ///< planned reservations
-    int vm_count = 0;                 ///< planned resident count
-    double running_demand = 0;        ///< planned guest CPU demand
-    double mgmt_demand = 0;
-    double conc_remaining_s = 0;      ///< Σ remaining op time (Pconc)
-    double creation_cost = 0, migration_cost = 0;
-    double reliability = 1;
-    workload::Arch arch{};
-    std::uint32_t software = 0;
-  };
   struct VmCol {
     datacenter::VmId id = 0;
     double cpu = 0, mem = 0;
@@ -171,36 +231,96 @@ class ScoreModel {
     double fault_tolerance = 0;
     workload::Arch arch{};
     std::uint32_t software = 0;
+    /// Cross-round persistent column (fleet mode, queued VMs whose score
+    /// is round-time-independent); null otherwise. Not owned — lives in
+    /// the FleetState, node-stable for the model's lifetime.
+    FleetColCache* persist = nullptr;
   };
   /// Plan-independent penalty terms of one (host, vm) pair, fixed at
-  /// snapshot time: Preq compatibility, Pvirt (incl. the Pm migration
-  /// term), Pconc and Pfault. The plan-dependent remainder (Pres, Ppwr,
-  /// PSLA) is evaluated by score_cell().
-  struct StaticTerms {
-    double virt = 0;
-    double conc = 0;
-    double fault = 0;
-    bool compat = false;
+  /// snapshot time: Preq compatibility (placeability folded in), Pvirt
+  /// (incl. the Pm migration term), Pconc and Pfault. The plan-dependent
+  /// remainder (Pres, Ppwr, PSLA) is evaluated by score_cell(). Shared
+  /// with fleet.hpp's ModelScratch so the backing array can be recycled
+  /// across rounds.
+  using StaticTerms = CellStaticTerms;
+  /// Legacy mode's owned backing store for the immutable row attributes
+  /// (fleet mode aliases the FleetSnapshot instead). `placeable` is all-1:
+  /// legacy rows are the placeable hosts by construction.
+  struct OwnRows {
+    std::vector<datacenter::HostId> id;
+    std::vector<unsigned char> placeable;
+    std::vector<double> cpu_cap, mem_cap;
+    std::vector<double> mgmt, conc;
+    std::vector<double> creation, migration, reliability;
+    std::vector<workload::Arch> arch;
+    std::vector<std::uint32_t> software;
   };
 
   [[nodiscard]] std::size_t at(int r, int c) const {
     return static_cast<std::size_t>(r) * static_cast<std::size_t>(vms_.size()) +
            static_cast<std::size_t>(c);
   }
+  static void fill_column_common(VmCol& c, const datacenter::Vm& vm,
+                                 bool is_new, sim::SimTime now);
+  void bind_own_rows();
   void build_static_terms(SolverPool* pool);
-  void build_static_row(int r);
+  void build_static_cell(int r, int c) const;
+  [[nodiscard]] const StaticTerms& ensure_static(int r, int c) const {
+    const std::size_t i = at(r, c);
+    if (!static_ok_[i]) {
+      build_static_cell(r, c);
+      static_ok_[i] = 1;
+    }
+    return static_terms_[i];
+  }
   [[nodiscard]] double score_cell(int r, int c) const;
   void invalidate_row(int r);
+  void touch_row(int r);          ///< fleet mode: margins + plan_touched
+  void rebuild_margin_block(int blk);
 
   ScoreParams params_;
   obs::PhaseProfiler* profiler_ = nullptr;  ///< not owned; may be null
-  std::vector<HostRow> hosts_;
-  std::vector<VmCol> vms_;
-  std::vector<StaticTerms> static_terms_;   ///< (rows-1) x cols
   SolverPool* pool_ = nullptr;              ///< not owned; may be null
+  FleetState* fleet_scratch_home_ = nullptr;  ///< buffer return target
+  bool fleet_mode_ = false;
+  int nrows_ = 0;  ///< real host rows (excl. the virtual row)
+
+  // Immutable per-row attributes, SoA. Raw aliases: into own_ (legacy) or
+  // into the borrowed FleetSnapshot (fleet mode, zero copies). Bound once
+  // in the constructor after the backing storage is final.
+  const unsigned char* placeable_ = nullptr;
+  const double* cap_cpu_ = nullptr;
+  const double* cap_mem_ = nullptr;
+  const double* mgmt_ = nullptr;
+  const double* conc_ = nullptr;
+  const double* cost_create_ = nullptr;
+  const double* cost_migrate_ = nullptr;
+  const double* reliability_ = nullptr;
+  const workload::Arch* arch_ = nullptr;
+  const std::uint32_t* software_ = nullptr;
+
+  // Plan-tracked per-row state, owned and mutated by move().
+  std::vector<double> cpu_res_, mem_res_, running_;
+  std::vector<int> vm_count_;
+
+  // Fleet mode only: plan-tracked pruning margins (seeded from the
+  // HostBucketIndex, maintained by move()) and the plan-touched rows
+  // (their cells no longer flow through the persistent columns).
+  std::vector<double> free_cpu_, free_mem_;
+  std::vector<double> block_free_cpu_, block_free_mem_;
+  std::vector<unsigned char> plan_touched_;
+
+  OwnRows own_;
+  std::vector<VmCol> vms_;
+  // Plan-independent terms, built eagerly (legacy) or lazily per cell
+  // (fleet mode — most cells of a pruned matrix are never read).
+  // `mutable`: ensure_static() memoizes from const queries. Race-free for
+  // the same reason the score cache is: threaded sweeps only touch
+  // disjoint row (build) or column (argmin) ranges.
+  mutable std::vector<StaticTerms> static_terms_;
+  mutable std::vector<unsigned char> static_ok_;
   // Per-cell score cache over the real rows. `mutable`: cell() is a const
-  // query that memoizes. Threaded sweeps stay race-free because workers
-  // only touch disjoint row (build) or column (argmin) ranges.
+  // query that memoizes.
   mutable std::vector<double> cache_;
   mutable std::vector<unsigned char> cache_ok_;
 };

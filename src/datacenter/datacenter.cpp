@@ -44,6 +44,7 @@ Datacenter::Datacenter(sim::Simulator& simulator, DatacenterConfig config,
   EA_EXPECTS(recorder_.watts.size() == config_.hosts.size());
   hosts_.resize(config_.hosts.size());
   failure_events_.assign(config_.hosts.size(), sim::kNoEvent);
+  fleet_dirty_flag_.assign(config_.hosts.size(), 0);
   const std::size_t on_count =
       std::min(config_.initially_on, config_.hosts.size());
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
@@ -265,6 +266,7 @@ void Datacenter::reschedule_finish(Vm& v) {
 void Datacenter::reallocate_io(HostId h) {
   Host& host = hosts_[h];
   const sim::SimTime t = sim_.now();
+  mark_fleet_dirty(h);  // operation set / progress schedule changes
 
   // 1. Integrate progress of the active operations at their old rates.
   // A hung operation holds its channel slot (a wedged transfer still
@@ -331,13 +333,20 @@ void Datacenter::complete_operation(HostId h, Operation::Kind kind, VmId v) {
 
 void Datacenter::reallocate(HostId h) {
   Host& host = hosts_[h];
+  // Every resident/reservation/demand change funnels through here, so one
+  // mark covers the bulk of the fleet dirty protocol.
+  mark_fleet_dirty(h);
 
   // 1. Integrate progress of everything currently running here.
   for (VmId r : host.residents) integrate_progress(vms_[r]);
 
-  // 2. Compute the new shares for the running residents.
-  std::vector<CpuDemand> demands;
-  std::vector<VmId> running;
+  // 2. Compute the new shares for the running residents. The scratch
+  // vectors live on the Datacenter (reallocate never re-enters itself), so
+  // the hottest event-kernel path stops allocating.
+  std::vector<CpuDemand>& demands = xen_demands_;
+  std::vector<VmId>& running = xen_running_;
+  demands.clear();
+  running.clear();
   demands.reserve(host.residents.size());
   for (VmId r : host.residents) {
     const Vm& rv = vms_[r];
@@ -346,8 +355,9 @@ void Datacenter::reallocate(HostId h) {
                        static_cast<double>(rv.job.weight), 0.0});
     running.push_back(r);
   }
-  const XenAllocation alloc = allocate_cpu(
-      host.spec.cpu_capacity_pct, demands, host.mgmt_demand_pct());
+  allocate_cpu(host.spec.cpu_capacity_pct, demands, host.mgmt_demand_pct(),
+               xen_scratch_, xen_alloc_);
+  const XenAllocation& alloc = xen_alloc_;
   double guest_demand = 0;
   for (const auto& d : demands) guest_demand += d.demand_pct;
   recorder_.max_oversubscription =
@@ -685,6 +695,7 @@ void Datacenter::complete_checkpoint(HostId h, VmId v) {
 
 void Datacenter::set_maintenance(HostId h, bool on) {
   host_mut(h).maintenance = on;
+  mark_fleet_dirty(h);  // placeability flip
 }
 
 void Datacenter::power_on(HostId h) {
@@ -980,6 +991,7 @@ void Datacenter::inject_host_failure(HostId h) {
 
 void Datacenter::debug_add_resident(HostId h, VmId v) {
   host_mut(h).residents.push_back(v);
+  mark_fleet_dirty(h);
 }
 
 void Datacenter::debug_force_place(VmId v, HostId h) {
@@ -987,6 +999,7 @@ void Datacenter::debug_force_place(VmId v, HostId h) {
   m.state = VmState::kRunning;
   m.host = h;
   host_mut(h).residents.push_back(v);
+  mark_fleet_dirty(h);
 }
 
 void Datacenter::set_host_state(Host& h, HostState to) {
@@ -994,6 +1007,21 @@ void Datacenter::set_host_state(Host& h, HostState to) {
     ck->on_host_transition(sim_.now(), h.id, h.state, to);
   }
   h.state = to;
+  mark_fleet_dirty(h.id);
+}
+
+void Datacenter::mark_fleet_dirty(HostId h) {
+  if (fleet_dirty_flag_[h] != 0) return;
+  fleet_dirty_flag_[h] = 1;
+  fleet_dirty_.push_back(h);
+}
+
+void Datacenter::drain_fleet_dirty(std::vector<HostId>& out) const {
+  for (const HostId h : fleet_dirty_) {
+    out.push_back(h);
+    fleet_dirty_flag_[h] = 0;
+  }
+  fleet_dirty_.clear();
 }
 
 // ---- fault-injection & recovery internals ---------------------------------
@@ -1196,6 +1224,7 @@ void Datacenter::note_host_fault(HostId h) {
   if (host.fault_count < q.failure_budget) return;
 
   host.quarantined = true;
+  mark_fleet_dirty(h);  // placeability flip
   ++recorder_.counts.quarantines;
   record_fault_event("quarantine host=%u cooldown=%.0fs",
                      static_cast<unsigned>(h), q.cooldown_s);
@@ -1211,6 +1240,7 @@ void Datacenter::note_host_fault(HostId h) {
     hh.quarantined = false;
     hh.fault_count = 0;
     hh.fault_window_start = sim_.now();
+    mark_fleet_dirty(h);  // placeability flip
     record_fault_event("unquarantine host=%u", static_cast<unsigned>(h));
     if (auto* tr = obs::tracer(recorder_)) {
       tr->emit(sim_.now(), obs::EventKind::kUnquarantine).host = h;

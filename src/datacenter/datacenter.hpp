@@ -35,6 +35,7 @@
 #include "datacenter/host.hpp"
 #include "datacenter/ids.hpp"
 #include "datacenter/vm.hpp"
+#include "datacenter/xen_scheduler.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/accumulators.hpp"
 #include "sim/simulator.hpp"
@@ -153,6 +154,23 @@ class Datacenter {
   /// All active (non-finished) VM ids.
   [[nodiscard]] std::vector<VmId> active_vms() const;
 
+  /// Cross-round dirty journal for the incremental scheduling core
+  /// (core/fleet.hpp). Every mutation that can change a host's
+  /// score-relevant state — a reallocation (residents, reservations,
+  /// demand, in-flight operations), a power transition, a maintenance /
+  /// quarantine flip, a debug mutation hook — marks the host dirty.
+  /// FleetState::refresh() drains the set once per round and re-reads only
+  /// those hosts instead of snapshotting the whole fleet. Marking is
+  /// deduplicated, so the journal stays bounded by num_hosts() even when
+  /// nothing drains it (e.g. non-score policies). Draining appends the
+  /// dirty ids (deduplicated, in first-marked order) to `out` and clears
+  /// the journal; it is const because the single consumer reaches the
+  /// Datacenter through a const SchedContext.
+  void drain_fleet_dirty(std::vector<HostId>& out) const;
+  [[nodiscard]] std::size_t fleet_dirty_count() const {
+    return fleet_dirty_.size();
+  }
+
   // ---- actuators (section III-C) -----------------------------------------
 
   /// Admits a job: materialises its VM in the Queued state and returns the
@@ -250,6 +268,9 @@ class Datacenter {
   /// assigning, so every transition is validated or none are.
   void set_host_state(Host& h, HostState to);
 
+  /// Records `h` in the fleet dirty journal (deduplicated).
+  void mark_fleet_dirty(HostId h);
+
   /// Integrates progress and recomputes shares/power on a host.
   void reallocate(HostId h);
   /// Integrates operation progress and recomputes the dom0 I/O-channel
@@ -303,6 +324,19 @@ class Datacenter {
   std::vector<Vm> vms_;
   std::vector<sim::EventId> failure_events_;
   FailureModel failure_model_;
+
+  // Fleet dirty journal (see drain_fleet_dirty): `mutable` because the
+  // drain is a const query from the scheduling policy's point of view.
+  mutable std::vector<HostId> fleet_dirty_;
+  mutable std::vector<unsigned char> fleet_dirty_flag_;
+
+  // Water-filling scratch for reallocate(), reused across calls: at fleet
+  // scale the per-call vectors were a measurable slice of the event
+  // kernel. Safe because reallocate() never re-enters itself.
+  std::vector<CpuDemand> xen_demands_;
+  std::vector<VmId> xen_running_;
+  XenScratch xen_scratch_;
+  XenAllocation xen_alloc_;
 };
 
 }  // namespace easched::datacenter

@@ -9,11 +9,22 @@ namespace easched::datacenter {
 XenAllocation allocate_cpu(double capacity_pct,
                            const std::vector<CpuDemand>& vms,
                            double mgmt_demand_pct) {
+  XenScratch scratch;
+  XenAllocation out;
+  allocate_cpu(capacity_pct, vms, mgmt_demand_pct, scratch, out);
+  return out;
+}
+
+void allocate_cpu(double capacity_pct, const std::vector<CpuDemand>& vms,
+                  double mgmt_demand_pct, XenScratch& scratch,
+                  XenAllocation& out) {
   EA_EXPECTS(capacity_pct > 0);
   EA_EXPECTS(mgmt_demand_pct >= 0);
 
-  XenAllocation out;
   out.vm_alloc_pct.assign(vms.size(), 0.0);
+  out.mgmt_alloc_pct = 0;
+  out.used_pct = 0;
+  out.oversubscription = 1.0;
 
   // dom0 management work preempts guest VCPUs.
   out.mgmt_alloc_pct = std::min(mgmt_demand_pct, capacity_pct);
@@ -41,8 +52,10 @@ XenAllocation allocate_cpu(double capacity_pct,
   // again. The list stays in ascending VM index order and active_weight is
   // recomputed by summing over it, so every floating-point operation — and
   // therefore every golden trace — is identical to a full rescan.
-  std::vector<double> want(vms.size());
-  std::vector<std::size_t> active;
+  std::vector<double>& want = scratch.want;
+  std::vector<std::size_t>& active = scratch.active;
+  want.assign(vms.size(), 0.0);
+  active.clear();
   active.reserve(vms.size());
   for (std::size_t i = 0; i < vms.size(); ++i) {
     want[i] = vms[i].cap_pct > 0 ? std::min(vms[i].demand_pct, vms[i].cap_pct)
@@ -78,7 +91,6 @@ XenAllocation allocate_cpu(double capacity_pct,
   out.used_pct = out.mgmt_alloc_pct;
   for (double a : out.vm_alloc_pct) out.used_pct += a;
   EA_ENSURES(out.used_pct <= capacity_pct + 1e-6);
-  return out;
 }
 
 }  // namespace easched::datacenter

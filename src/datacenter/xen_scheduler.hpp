@@ -32,11 +32,28 @@ struct XenAllocation {
   double oversubscription = 1.0;     ///< total demand / capacity, >= 1
 };
 
+/// Reusable work buffers for allocate_cpu(): at fleet scale the water
+/// filler runs for every touched host of every reallocation, and its two
+/// temporaries (effective demands, compacted active list) plus the output
+/// vector dominated the allocator profile. Keep one XenScratch (and one
+/// XenAllocation) per caller and the buffers are reused across calls.
+struct XenScratch {
+  std::vector<double> want;
+  std::vector<std::size_t> active;
+};
+
 /// Computes the allocation. `mgmt_demand_pct` is the aggregate dom0 demand
 /// of in-flight create/migrate operations. Requires capacity_pct > 0,
 /// non-negative demands, positive weights.
 XenAllocation allocate_cpu(double capacity_pct,
                            const std::vector<CpuDemand>& vms,
                            double mgmt_demand_pct = 0);
+
+/// Allocation-free variant: identical arithmetic (golden traces hold the
+/// equivalence), with the temporaries borrowed from `scratch` and the
+/// result written into `out` in place.
+void allocate_cpu(double capacity_pct, const std::vector<CpuDemand>& vms,
+                  double mgmt_demand_pct, XenScratch& scratch,
+                  XenAllocation& out);
 
 }  // namespace easched::datacenter

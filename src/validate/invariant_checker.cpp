@@ -1,10 +1,12 @@
 #include "validate/invariant_checker.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/fleet.hpp"
 #include "core/score_matrix.hpp"
 #include "datacenter/datacenter.hpp"
 #include "datacenter/vm.hpp"
@@ -59,6 +61,10 @@ const char* to_string(Rule rule) noexcept {
       return "ladder-transition";
     case Rule::kBreakerTransition:
       return "breaker-transition";
+    case Rule::kFleetSnapshot:
+      return "fleet-snapshot";
+    case Rule::kFleetIndex:
+      return "fleet-index";
   }
   return "?";
 }
@@ -318,6 +324,111 @@ void InvariantChecker::check_score_model(const core::ScoreModel& model,
            msg("%d cached score cells diverge from recomputation, "
                "first at (%d, %d)",
                diverged, r, c));
+  }
+}
+
+void InvariantChecker::check_fleet(const core::FleetState& fleet,
+                                   const datacenter::Datacenter& dc,
+                                   sim::SimTime t) {
+  ++checks_;
+  const core::FleetSnapshot& snap = fleet.snapshot();
+  const std::size_t n = dc.num_hosts();
+  if (snap.size() != n) {
+    report(Rule::kFleetSnapshot, t,
+           msg("fleet snapshot covers %zu hosts, datacenter has %zu",
+               snap.size(), n));
+    return;
+  }
+
+  // kFleetSnapshot: every field of every host, bitwise, against the shared
+  // read path. A divergence means the dirty journal (or the refresh's
+  // out-of-band scans) missed a mutation.
+  core::FleetSnapshot fresh;
+  fresh.resize(n);
+  for (HostId h = 0; h < n; ++h) {
+    core::FleetState::read_host(dc, h, t, fresh);
+    const bool same = snap.placeable[h] == fresh.placeable[h] &&
+                      snap.cpu_cap[h] == fresh.cpu_cap[h] &&
+                      snap.mem_cap[h] == fresh.mem_cap[h] &&
+                      snap.cpu_res[h] == fresh.cpu_res[h] &&
+                      snap.mem_res[h] == fresh.mem_res[h] &&
+                      snap.vm_count[h] == fresh.vm_count[h] &&
+                      snap.running_demand[h] == fresh.running_demand[h] &&
+                      snap.mgmt_demand[h] == fresh.mgmt_demand[h] &&
+                      snap.conc_remaining_s[h] == fresh.conc_remaining_s[h] &&
+                      snap.creation_cost[h] == fresh.creation_cost[h] &&
+                      snap.migration_cost[h] == fresh.migration_cost[h] &&
+                      snap.reliability[h] == fresh.reliability[h] &&
+                      snap.arch[h] == fresh.arch[h] &&
+                      snap.software[h] == fresh.software[h];
+    if (!same) {
+      report(Rule::kFleetSnapshot, t,
+             msg("host %u: fleet snapshot diverges from a fresh re-read "
+                 "(stale dirty journal?)",
+                 h));
+    }
+  }
+
+  // kFleetIndex: margins, block maxima and the band histogram against the
+  // snapshot they were built from (not `fresh` — a stale snapshot is the
+  // other rule's violation; the index must mirror its own source).
+  const core::HostBucketIndex& index = fleet.index();
+  if (index.size() != n) {
+    report(Rule::kFleetIndex, t,
+           msg("fleet index covers %zu hosts, snapshot has %zu",
+               index.size(), n));
+    return;
+  }
+  for (HostId h = 0; h < n; ++h) {
+    const double cpu = core::FleetState::expected_free_cpu(snap, h);
+    const double mem = core::FleetState::expected_free_mem(snap, h);
+    if (index.free_cpu(h) != cpu || index.free_mem(h) != mem) {
+      report(Rule::kFleetIndex, t,
+             msg("host %u: index margins (%.6f, %.6f) != snapshot-derived "
+                 "(%.6f, %.6f)",
+                 h, index.free_cpu(h), index.free_mem(h), cpu, mem));
+    }
+  }
+  const std::vector<double>& block_cpu = index.block_free_cpu();
+  const std::vector<double>& block_mem = index.block_free_mem();
+  const std::size_t nblocks =
+      (n + core::kArgminBlock - 1) /
+      static_cast<std::size_t>(core::kArgminBlock);
+  if (block_cpu.size() != nblocks || block_mem.size() != nblocks) {
+    report(Rule::kFleetIndex, t,
+           msg("fleet index has %zu blocks, expected %zu", block_cpu.size(),
+               nblocks));
+    return;
+  }
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    double best_cpu = -1.0;
+    double best_mem = -1.0;
+    const std::size_t lo = blk * core::kArgminBlock;
+    const std::size_t hi = std::min(n, lo + core::kArgminBlock);
+    for (std::size_t h = lo; h < hi; ++h) {
+      const auto id = static_cast<HostId>(h);
+      best_cpu = std::max(best_cpu, core::FleetState::expected_free_cpu(snap, id));
+      best_mem = std::max(best_mem, core::FleetState::expected_free_mem(snap, id));
+    }
+    if (block_cpu[blk] != best_cpu || block_mem[blk] != best_mem) {
+      report(Rule::kFleetIndex, t,
+             msg("block %zu: index maxima (%.6f, %.6f) != recomputed "
+                 "(%.6f, %.6f)",
+                 blk, block_cpu[blk], block_mem[blk], best_cpu, best_mem));
+    }
+  }
+  std::vector<int> bands(core::HostBucketIndex::kBands, 0);
+  for (HostId h = 0; h < n; ++h) {
+    const int b = core::HostBucketIndex::band_of(
+        core::FleetState::expected_free_cpu(snap, h));
+    if (b >= 0) ++bands[b];
+  }
+  for (int b = 0; b < core::HostBucketIndex::kBands; ++b) {
+    if (index.band_count(b) != bands[b]) {
+      report(Rule::kFleetIndex, t,
+             msg("band %d: index counts %d hosts, recount says %d", b,
+                 index.band_count(b), bands[b]));
+    }
   }
 }
 

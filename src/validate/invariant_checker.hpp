@@ -24,6 +24,13 @@
 //   kEnergyConsistency recorded power samples match the power model for
 //                      the host's state, and the energy integral is the
 //                      sum of the per-host integrals
+//   kFleetSnapshot     the cross-round fleet snapshot (core/fleet.hpp) is
+//                      bitwise equal to a fresh re-read of every host —
+//                      i.e. the dirty journal missed nothing, which also
+//                      implies a clean round's score matrix is byte-stable
+//   kFleetIndex        the capacity-bucket index (margins, per-block
+//                      maxima, band histogram) is consistent with the
+//                      snapshot it was built from
 //
 // The checker is passive: it never mutates the world. On violation it
 // records a Violation, invokes the `on_violation` callback (the runner
@@ -46,6 +53,7 @@
 #include "sim/simulator.hpp"
 
 namespace easched::core {
+class FleetState;
 class ScoreModel;
 }  // namespace easched::core
 
@@ -64,8 +72,10 @@ enum class Rule : std::uint8_t {
   kEnergyConsistency,
   kLadderTransition,
   kBreakerTransition,
+  kFleetSnapshot,
+  kFleetIndex,
 };
-inline constexpr int kNumRules = 8;
+inline constexpr int kNumRules = 10;
 
 const char* to_string(Rule rule) noexcept;
 
@@ -99,6 +109,13 @@ class InvariantChecker : public sim::SimObserver {
   /// Cache-vs-recompute agreement over every warmed score-matrix cell.
   /// Called by the score policy after each hill-climb.
   void check_score_model(const core::ScoreModel& model, sim::SimTime t);
+
+  /// Fleet-state coherence (kFleetSnapshot + kFleetIndex): the cross-round
+  /// snapshot against a fresh re-read of every host, and the bucket index
+  /// against the snapshot. Called by the score policy right after each
+  /// incremental refresh, with `t` = the refresh's `now`.
+  void check_fleet(const core::FleetState& fleet,
+                   const datacenter::Datacenter& dc, sim::SimTime t);
 
   /// Power-state transition hook, called by the Datacenter *before* it
   /// assigns the new state.
